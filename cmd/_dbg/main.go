@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"selgen/internal/driver"
+)
+
+func main() {
+	groups := driver.FullSetup()
+	var rot []driver.Group
+	for _, g := range groups {
+		if g.Name == "Rotate" {
+			rot = append(rot, g)
+		}
+	}
+	start := time.Now()
+	lib, rep, err := driver.Run(rot, driver.Options{Width: 8, Seed: 1,
+		MaxPatternsPerGoal: 24, PerGoalTimeout: 6 * time.Minute})
+	if err != nil {
+		panic(err)
+	}
+	rep.WriteTable(os.Stdout)
+	found := 0
+	for _, r := range lib.Rules {
+		ops := map[string]int{}
+		for _, n := range r.Pattern.Nodes {
+			ops[n.Op]++
+		}
+		if ops["Or"] == 1 && ops["Sub"] == 1 && (ops["Shl"] == 1 && ops["Shr"] == 1) {
+			fmt.Println("CANONICAL", r.Goal, ":", r.Pattern.String())
+			found++
+		}
+	}
+	fmt.Println("elapsed", time.Since(start).Round(time.Second), "canonical:", found)
+}

@@ -1,0 +1,72 @@
+// Command iselbench reproduces Table 1 of the paper: it compiles the
+// synthetic SPEC-CINT2000 workloads with the handwritten selector and
+// with prototype selectors generated from the basic and full
+// synthesized rule libraries, runs the selected code in the cycle-cost
+// simulator (verifying all selectors compute what the IR computes),
+// and prints the coverage and runtime-ratio table.
+//
+// Usage:
+//
+//	iselbench                        # synthesize basic+full, then benchmark
+//	iselbench -basic b.json -full f.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"selgen/internal/driver"
+	"selgen/internal/pattern"
+)
+
+func loadOrSynthesize(path, what string, groups []driver.Group, width int) (*pattern.Library, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pattern.Load(f)
+	}
+	fmt.Fprintf(os.Stderr, "synthesizing %s library (pass -%s to load a pre-built one)...\n", what, what)
+	lib, rep, err := driver.Run(groups, driver.Options{
+		Width:              width,
+		PerGoalTimeout:     2 * time.Minute,
+		MaxPatternsPerGoal: 48,
+		Seed:               1,
+	})
+	if err == nil {
+		rep.WriteTable(os.Stderr)
+	}
+	return lib, err
+}
+
+func main() {
+	var (
+		width     = flag.Int("width", 8, "word width")
+		basicPath = flag.String("basic", "", "basic rule library JSON (synthesized when empty)")
+		fullPath  = flag.String("full", "", "full rule library JSON (synthesized when empty)")
+		seed      = flag.Int64("seed", 99, "workload seed")
+	)
+	flag.Parse()
+
+	basicLib, err := loadOrSynthesize(*basicPath, "basic", driver.BasicSetup(), *width)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iselbench: basic library: %v\n", err)
+		os.Exit(1)
+	}
+	fullLib, err := loadOrSynthesize(*fullPath, "full", driver.FullSetup(), *width)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iselbench: full library: %v\n", err)
+		os.Exit(1)
+	}
+
+	t, err := driver.RunTable1(*width, *seed, basicLib, fullLib)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)
+		os.Exit(1)
+	}
+	t.Write(os.Stdout)
+}

@@ -1,0 +1,81 @@
+// Command selgen synthesizes an instruction-selection rule library from
+// the semantic specifications in internal/ir and internal/x86 and
+// writes it as JSON (the pattern database of §3).
+//
+// Usage:
+//
+//	selgen -setup basic -o rule-library.json
+//	selgen -setup full -width 8 -timeout 30s -o full.json
+//	selgen -setup bmi -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"selgen/internal/driver"
+)
+
+func main() {
+	var (
+		setup   = flag.String("setup", "basic", "goal set: basic, full, bmi, or rotate (§7.1, §A.4)")
+		width   = flag.Int("width", 8, "word width W of the semantic models")
+		out     = flag.String("o", "rule-library.json", "output pattern database")
+		timeout = flag.Duration("timeout", 5*time.Minute, "per-goal synthesis timeout")
+		maxPat  = flag.Int("max-patterns", 64, "max patterns per goal (0 = unlimited)")
+		seed    = flag.Int64("seed", 1, "test-case seed")
+		verbose = flag.Bool("v", false, "print per-goal progress")
+	)
+	flag.Parse()
+
+	var groups []driver.Group
+	switch *setup {
+	case "basic":
+		groups = driver.BasicSetup()
+	case "full":
+		groups = driver.FullSetup()
+	case "bmi":
+		groups = driver.BMISetup()
+	case "rotate":
+		groups = driver.RotateSetup()
+	default:
+		fmt.Fprintf(os.Stderr, "selgen: unknown setup %q (want basic, full, bmi, or rotate)\n", *setup)
+		os.Exit(2)
+	}
+
+	opts := driver.Options{
+		Width:              *width,
+		PerGoalTimeout:     *timeout,
+		MaxPatternsPerGoal: *maxPat,
+		Seed:               *seed,
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	start := time.Now()
+	lib, rep, err := driver.Run(groups, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := lib.Save(f); err != nil {
+		fmt.Fprintf(os.Stderr, "selgen: saving library: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep.WriteTable(os.Stdout)
+	fmt.Printf("\n%d rules written to %s in %s\n", len(lib.Rules), *out, time.Since(start).Round(time.Millisecond))
+}

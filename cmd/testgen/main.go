@@ -1,0 +1,127 @@
+// Command testgen reproduces §7.4 of the paper: it generates a test
+// case from every pattern in a rule library, compiles each case with
+// the simulated GCC and Clang comparators, and reports how many
+// patterns each compiler misses. With -html it also writes the
+// expandable report table the paper's artifact produces.
+//
+// Usage:
+//
+//	testgen -lib rule-library.json
+//	testgen -lib rule-library.json -html test-result.html -c cases/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"selgen/internal/ir"
+	"selgen/internal/pattern"
+	"selgen/internal/testgen"
+)
+
+func main() {
+	var (
+		libPath  = flag.String("lib", "rule-library.json", "pattern database to test")
+		htmlPath = flag.String("html", "", "write an HTML report here")
+		caseDir  = flag.String("c", "", "write generated C test sources into this directory")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*libPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testgen: %v\n", err)
+		os.Exit(1)
+	}
+	lib, err := pattern.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep, err := testgen.Run(lib, ir.Ops(), testgen.Comparators(lib.Width))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Summary())
+
+	if *caseDir != "" {
+		if err := os.MkdirAll(*caseDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "testgen: %v\n", err)
+			os.Exit(1)
+		}
+		for i, c := range rep.Cases {
+			name := filepath.Join(*caseDir, fmt.Sprintf("case_%04d.c", i))
+			if err := os.WriteFile(name, []byte(c.Source), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "testgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote %d C test cases to %s\n", len(rep.Cases), *caseDir)
+	}
+
+	if *htmlPath != "" {
+		if err := os.WriteFile(*htmlPath, []byte(renderHTML(rep)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "testgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote HTML report to %s\n", *htmlPath)
+	}
+}
+
+// renderHTML builds the §A.5 report: one row per pattern where at
+// least one compiler produced more instructions than expected, cells
+// expandable to the C source.
+func renderHTML(rep *testgen.Report) string {
+	var names []string
+	for n := range rep.Missing {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html><html><head><meta charset=\"utf-8\">" +
+		"<title>Missing instruction-selection patterns</title><style>" +
+		"table{border-collapse:collapse}td,th{border:1px solid #999;padding:4px 8px}" +
+		".bad{background:#fcc}.src{display:none;white-space:pre;font-family:monospace}" +
+		"details>summary{cursor:pointer}</style></head><body>\n")
+	fmt.Fprintf(&sb, "<h1>Missing patterns (%d test cases)</h1>\n<ul>", len(rep.Cases))
+	for _, n := range names {
+		fmt.Fprintf(&sb, "<li>unsupported by %s: %d</li>", html.EscapeString(n), rep.Missing[n])
+	}
+	fmt.Fprintf(&sb, "<li>unsupported by all: %d</li></ul>\n<table><tr><th>goal</th><th>pattern</th>", rep.MissingAll)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "<th>%s</th>", html.EscapeString(n))
+	}
+	sb.WriteString("<th>source</th></tr>\n")
+	for _, c := range rep.Cases {
+		anyBad := false
+		for _, n := range names {
+			if !c.Supported(n) {
+				anyBad = true
+			}
+		}
+		if !anyBad {
+			continue
+		}
+		fmt.Fprintf(&sb, "<tr><td>%s</td><td><code>%s</code></td>",
+			html.EscapeString(c.Goal), html.EscapeString(c.Canon))
+		for _, n := range names {
+			cls := ""
+			if !c.Supported(n) {
+				cls = " class=\"bad\""
+			}
+			fmt.Fprintf(&sb, "<td%s>%d</td>", cls, c.InstrCount[n])
+		}
+		fmt.Fprintf(&sb, "<td><details><summary>C</summary><pre>%s</pre></details></td></tr>\n",
+			html.EscapeString(c.Source))
+	}
+	sb.WriteString("</table></body></html>\n")
+	return sb.String()
+}

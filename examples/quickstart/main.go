@@ -1,0 +1,54 @@
+// Quickstart: synthesize the rule library for a single machine
+// instruction from its semantic specification and print every minimal
+// IR pattern found.
+//
+// The goal here is x86's andn (~x & y): the paper's introductory
+// example, whose four minimal patterns an instruction selector must all
+// know to guarantee a match:
+//
+//	~x & y    x ^ (x | y)    y ^ (x & y)    y - (x & y)
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selgen/internal/cegis"
+	"selgen/internal/ir"
+	"selgen/internal/testgen"
+	"selgen/internal/x86"
+)
+
+func main() {
+	// The IR operation set I (the compiler side of the specification)
+	// and the goal machine instruction g (the ISA side).
+	ops := ir.Ops()
+	goal := x86.Andn()
+
+	// Iterative CEGIS over multisets of IR operations of growing size
+	// (Algorithm 2 of the paper). Width 8 keeps the SAT instances tiny;
+	// the rules are width-generic in structure.
+	engine := cegis.New(ops, cegis.Config{
+		Width:  8,
+		MaxLen: 2, // andn's minimal patterns have two IR operations
+		Seed:   1,
+	})
+
+	res, err := engine.Synthesize(goal)
+	if err != nil {
+		log.Fatalf("synthesis failed: %v", err)
+	}
+
+	fmt.Printf("goal %s: %d minimal patterns of size %d (%.2fs)\n\n",
+		goal.Name, len(res.Patterns), res.MinLen, res.Elapsed.Seconds())
+	for i, p := range res.Patterns {
+		fmt.Printf("pattern %d: %s\n", i+1, p.String())
+		fmt.Println(testgen.CSource(fmt.Sprintf("andn_%d", i+1), 8, &p))
+	}
+	fmt.Printf("synthesis effort: %d synthesis queries, %d verifications, %d counterexamples\n",
+		engine.Stats.SynthQueries, engine.Stats.VerifyQueries, engine.Stats.Counterexamples)
+}

@@ -1,0 +1,3 @@
+module selgen
+
+go 1.22

@@ -1,0 +1,512 @@
+// Package bitblast lowers bv terms to CNF over a sat.Solver (Tseitin
+// encoding). Booleans become single literals; bit-vectors become literal
+// vectors (LSB first). Adders are ripple-carry, shifts are logarithmic
+// barrel shifters, multiplication is the shift-and-add schoolbook
+// circuit, and comparisons are unrolled carry chains.
+//
+// This is the same lowering a QF_BV SMT solver such as Z3 or Boolector
+// performs internally; together with internal/sat it replaces the Z3
+// dependency of the reproduced paper.
+package bitblast
+
+import (
+	"fmt"
+
+	"selgen/internal/bv"
+	"selgen/internal/sat"
+)
+
+// Blaster converts terms to CNF incrementally. All terms passed to one
+// Blaster must come from the same bv.Builder.
+type Blaster struct {
+	S *sat.Solver
+
+	cache map[*bv.Term][]sat.Lit
+	vars  map[string][]sat.Lit
+
+	litTrue  sat.Lit
+	haveTrue bool
+}
+
+// New returns a Blaster over the given solver.
+func New(s *sat.Solver) *Blaster {
+	return &Blaster{
+		S:     s,
+		cache: make(map[*bv.Term][]sat.Lit),
+		vars:  make(map[string][]sat.Lit),
+	}
+}
+
+// constTrue returns a literal asserted true at the top level.
+func (bb *Blaster) constTrue() sat.Lit {
+	if !bb.haveTrue {
+		v := bb.S.NewVar()
+		bb.litTrue = sat.MkLit(v, false)
+		bb.S.AddClause(bb.litTrue)
+		bb.haveTrue = true
+	}
+	return bb.litTrue
+}
+
+func (bb *Blaster) constFalse() sat.Lit { return bb.constTrue().Not() }
+
+func (bb *Blaster) constLit(b bool) sat.Lit {
+	if b {
+		return bb.constTrue()
+	}
+	return bb.constFalse()
+}
+
+func (bb *Blaster) fresh() sat.Lit { return sat.MkLit(bb.S.NewVar(), false) }
+
+// VarLits returns (allocating if needed) the literal vector backing the
+// named variable of the given sort: length 1 for Bool, Width otherwise.
+func (bb *Blaster) VarLits(name string, sort bv.Sort) []sat.Lit {
+	if ls, ok := bb.vars[name]; ok {
+		return ls
+	}
+	n := sort.Width
+	if sort.IsBool() {
+		n = 1
+	}
+	ls := make([]sat.Lit, n)
+	for i := range ls {
+		ls[i] = bb.fresh()
+	}
+	bb.vars[name] = ls
+	return ls
+}
+
+// Assert adds the boolean term t as a top-level constraint.
+func (bb *Blaster) Assert(t *bv.Term) {
+	if !t.Sort.IsBool() {
+		panic("bitblast: asserting non-boolean term")
+	}
+	l := bb.Blast(t)[0]
+	bb.S.AddClause(l)
+}
+
+// Blast lowers t and returns its literal vector (length 1 for Bool).
+func (bb *Blaster) Blast(t *bv.Term) []sat.Lit {
+	if ls, ok := bb.cache[t]; ok {
+		return ls
+	}
+	ls := bb.blast(t)
+	bb.cache[t] = ls
+	return ls
+}
+
+func (bb *Blaster) blast(t *bv.Term) []sat.Lit {
+	switch t.Op {
+	case bv.OpConst:
+		if t.Sort.IsBool() {
+			return []sat.Lit{bb.constLit(t.Val == 1)}
+		}
+		out := make([]sat.Lit, t.Sort.Width)
+		for i := range out {
+			out[i] = bb.constLit(t.Val>>i&1 == 1)
+		}
+		return out
+	case bv.OpVar:
+		return bb.VarLits(t.Name, t.Sort)
+	case bv.OpNot:
+		a := bb.Blast(t.Args[0])
+		return []sat.Lit{a[0].Not()}
+	case bv.OpAnd:
+		return []sat.Lit{bb.andGate(bb.Blast(t.Args[0])[0], bb.Blast(t.Args[1])[0])}
+	case bv.OpOr:
+		return []sat.Lit{bb.andGate(bb.Blast(t.Args[0])[0].Not(), bb.Blast(t.Args[1])[0].Not()).Not()}
+	case bv.OpXor:
+		return []sat.Lit{bb.xorGate(bb.Blast(t.Args[0])[0], bb.Blast(t.Args[1])[0])}
+	case bv.OpImplies:
+		return []sat.Lit{bb.andGate(bb.Blast(t.Args[0])[0], bb.Blast(t.Args[1])[0].Not()).Not()}
+	case bv.OpIff:
+		return []sat.Lit{bb.xorGate(bb.Blast(t.Args[0])[0], bb.Blast(t.Args[1])[0]).Not()}
+	case bv.OpBvNot:
+		a := bb.Blast(t.Args[0])
+		out := make([]sat.Lit, len(a))
+		for i := range a {
+			out[i] = a[i].Not()
+		}
+		return out
+	case bv.OpBvAnd, bv.OpBvOr, bv.OpBvXor:
+		a, b := bb.Blast(t.Args[0]), bb.Blast(t.Args[1])
+		out := make([]sat.Lit, len(a))
+		for i := range a {
+			switch t.Op {
+			case bv.OpBvAnd:
+				out[i] = bb.andGate(a[i], b[i])
+			case bv.OpBvOr:
+				out[i] = bb.andGate(a[i].Not(), b[i].Not()).Not()
+			default:
+				out[i] = bb.xorGate(a[i], b[i])
+			}
+		}
+		return out
+	case bv.OpBvNeg:
+		a := bb.Blast(t.Args[0])
+		// -a = ~a + 1.
+		na := make([]sat.Lit, len(a))
+		for i := range a {
+			na[i] = a[i].Not()
+		}
+		one := make([]sat.Lit, len(a))
+		one[0] = bb.constTrue()
+		for i := 1; i < len(one); i++ {
+			one[i] = bb.constFalse()
+		}
+		sum, _ := bb.adder(na, one, bb.constFalse())
+		return sum
+	case bv.OpBvAdd:
+		a, b := bb.Blast(t.Args[0]), bb.Blast(t.Args[1])
+		sum, _ := bb.adder(a, b, bb.constFalse())
+		return sum
+	case bv.OpBvSub:
+		a, b := bb.Blast(t.Args[0]), bb.Blast(t.Args[1])
+		nb := make([]sat.Lit, len(b))
+		for i := range b {
+			nb[i] = b[i].Not()
+		}
+		sum, _ := bb.adder(a, nb, bb.constTrue())
+		return sum
+	case bv.OpBvMul:
+		return bb.multiplier(bb.Blast(t.Args[0]), bb.Blast(t.Args[1]))
+	case bv.OpBvUdiv, bv.OpBvUrem:
+		return bb.divider(t.Op, bb.Blast(t.Args[0]), bb.Blast(t.Args[1]))
+	case bv.OpBvShl, bv.OpBvLshr, bv.OpBvAshr:
+		return bb.shifter(t.Op, bb.Blast(t.Args[0]), bb.Blast(t.Args[1]))
+	case bv.OpEq:
+		a, b := bb.Blast(t.Args[0]), bb.Blast(t.Args[1])
+		return []sat.Lit{bb.equality(a, b)}
+	case bv.OpUlt:
+		a, b := bb.Blast(t.Args[0]), bb.Blast(t.Args[1])
+		return []sat.Lit{bb.ultGate(a, b)}
+	case bv.OpUle:
+		a, b := bb.Blast(t.Args[0]), bb.Blast(t.Args[1])
+		return []sat.Lit{bb.ultGate(b, a).Not()}
+	case bv.OpSlt:
+		a, b := bb.Blast(t.Args[0]), bb.Blast(t.Args[1])
+		return []sat.Lit{bb.sltGate(a, b)}
+	case bv.OpSle:
+		a, b := bb.Blast(t.Args[0]), bb.Blast(t.Args[1])
+		return []sat.Lit{bb.sltGate(b, a).Not()}
+	case bv.OpIte:
+		c := bb.Blast(t.Args[0])[0]
+		a, b := bb.Blast(t.Args[1]), bb.Blast(t.Args[2])
+		out := make([]sat.Lit, len(a))
+		for i := range a {
+			out[i] = bb.muxGate(c, a[i], b[i])
+		}
+		return out
+	case bv.OpExtract:
+		a := bb.Blast(t.Args[0])
+		return a[t.Lo : t.Hi+1]
+	case bv.OpConcat:
+		hi, lo := bb.Blast(t.Args[0]), bb.Blast(t.Args[1])
+		out := make([]sat.Lit, 0, len(hi)+len(lo))
+		out = append(out, lo...)
+		return append(out, hi...)
+	case bv.OpZext:
+		a := bb.Blast(t.Args[0])
+		out := make([]sat.Lit, t.Sort.Width)
+		copy(out, a)
+		for i := len(a); i < len(out); i++ {
+			out[i] = bb.constFalse()
+		}
+		return out
+	case bv.OpSext:
+		a := bb.Blast(t.Args[0])
+		out := make([]sat.Lit, t.Sort.Width)
+		copy(out, a)
+		for i := len(a); i < len(out); i++ {
+			out[i] = a[len(a)-1]
+		}
+		return out
+	}
+	panic(fmt.Sprintf("bitblast: unhandled op %v", t.Op))
+}
+
+// andGate returns a literal equivalent to a & b.
+func (bb *Blaster) andGate(a, b sat.Lit) sat.Lit {
+	if a == b {
+		return a
+	}
+	if a == b.Not() {
+		return bb.constFalse()
+	}
+	if bb.haveTrue {
+		if a == bb.litTrue {
+			return b
+		}
+		if b == bb.litTrue {
+			return a
+		}
+		if a == bb.litTrue.Not() || b == bb.litTrue.Not() {
+			return bb.constFalse()
+		}
+	}
+	o := bb.fresh()
+	bb.S.AddClause(o.Not(), a)
+	bb.S.AddClause(o.Not(), b)
+	bb.S.AddClause(o, a.Not(), b.Not())
+	return o
+}
+
+// xorGate returns a literal equivalent to a ^ b.
+func (bb *Blaster) xorGate(a, b sat.Lit) sat.Lit {
+	if a == b {
+		return bb.constFalse()
+	}
+	if a == b.Not() {
+		return bb.constTrue()
+	}
+	if bb.haveTrue {
+		if a == bb.litTrue {
+			return b.Not()
+		}
+		if b == bb.litTrue {
+			return a.Not()
+		}
+		if a == bb.litTrue.Not() {
+			return b
+		}
+		if b == bb.litTrue.Not() {
+			return a
+		}
+	}
+	o := bb.fresh()
+	bb.S.AddClause(o.Not(), a, b)
+	bb.S.AddClause(o.Not(), a.Not(), b.Not())
+	bb.S.AddClause(o, a, b.Not())
+	bb.S.AddClause(o, a.Not(), b)
+	return o
+}
+
+// muxGate returns c ? a : b.
+func (bb *Blaster) muxGate(c, a, b sat.Lit) sat.Lit {
+	if a == b {
+		return a
+	}
+	if bb.haveTrue {
+		if c == bb.litTrue {
+			return a
+		}
+		if c == bb.litTrue.Not() {
+			return b
+		}
+	}
+	o := bb.fresh()
+	bb.S.AddClause(o.Not(), c.Not(), a)
+	bb.S.AddClause(o.Not(), c, b)
+	bb.S.AddClause(o, c.Not(), a.Not())
+	bb.S.AddClause(o, c, b.Not())
+	return o
+}
+
+// fullAdder returns (sum, carryOut) for a + b + cin.
+func (bb *Blaster) fullAdder(a, b, cin sat.Lit) (sum, cout sat.Lit) {
+	sum = bb.xorGate(bb.xorGate(a, b), cin)
+	// cout = (a&b) | (cin & (a^b))
+	ab := bb.andGate(a, b)
+	cx := bb.andGate(cin, bb.xorGate(a, b))
+	cout = bb.andGate(ab.Not(), cx.Not()).Not()
+	return sum, cout
+}
+
+// adder returns (sum, carryOut) of the ripple-carry addition a+b+cin.
+func (bb *Blaster) adder(a, b []sat.Lit, cin sat.Lit) ([]sat.Lit, sat.Lit) {
+	out := make([]sat.Lit, len(a))
+	c := cin
+	for i := range a {
+		out[i], c = bb.fullAdder(a[i], b[i], c)
+	}
+	return out, c
+}
+
+// multiplier is the schoolbook shift-and-add circuit, truncating to
+// the operand width.
+func (bb *Blaster) multiplier(a, b []sat.Lit) []sat.Lit {
+	w := len(a)
+	acc := make([]sat.Lit, w)
+	for i := range acc {
+		acc[i] = bb.constFalse()
+	}
+	for i := 0; i < w; i++ {
+		// partial = (a << i) & b[i]
+		partial := make([]sat.Lit, w)
+		for j := range partial {
+			if j < i {
+				partial[j] = bb.constFalse()
+			} else {
+				partial[j] = bb.andGate(a[j-i], b[i])
+			}
+		}
+		acc, _ = bb.adder(acc, partial, bb.constFalse())
+	}
+	return acc
+}
+
+// divider encodes unsigned division/remainder by asserting the
+// multiplication identity: a = q*b + r with r < b when b != 0, and the
+// SMT-LIB conventions q = ~0, r = a when b = 0.
+func (bb *Blaster) divider(op bv.Op, a, b []sat.Lit) []sat.Lit {
+	w := len(a)
+	q := make([]sat.Lit, w)
+	r := make([]sat.Lit, w)
+	for i := 0; i < w; i++ {
+		q[i] = bb.fresh()
+		r[i] = bb.fresh()
+	}
+	// bZero <-> all bits of b are zero.
+	bZero := bb.constTrue()
+	for i := range b {
+		bZero = bb.andGate(bZero, b[i].Not())
+	}
+
+	// Non-zero case: q*b + r == a (with overflow-free side conditions)
+	// and r < b. We encode q*b in double width to rule out wraparound.
+	aw := append(append([]sat.Lit{}, a...), bb.zeros(w)...)
+	qw := append(append([]sat.Lit{}, q...), bb.zeros(w)...)
+	bw := append(append([]sat.Lit{}, b...), bb.zeros(w)...)
+	rw := append(append([]sat.Lit{}, r...), bb.zeros(w)...)
+	prod := bb.multiplier2w(qw, bw)
+	sum, _ := bb.adder(prod, rw, bb.constFalse())
+	identity := bb.equality(sum, aw)
+	rLtB := bb.ultGate(r, b)
+	nonZeroOK := bb.andGate(identity, rLtB)
+
+	// Zero case: q = all ones, r = a.
+	qOnes := bb.constTrue()
+	for i := range q {
+		qOnes = bb.andGate(qOnes, q[i])
+	}
+	rEqA := bb.equality(r, a)
+	zeroOK := bb.andGate(qOnes, rEqA)
+
+	ok := bb.muxGate(bZero, zeroOK, nonZeroOK)
+	bb.S.AddClause(ok)
+
+	if op == bv.OpBvUdiv {
+		return q
+	}
+	return r
+}
+
+func (bb *Blaster) zeros(n int) []sat.Lit {
+	out := make([]sat.Lit, n)
+	for i := range out {
+		out[i] = bb.constFalse()
+	}
+	return out
+}
+
+// multiplier2w multiplies two 2w-wide vectors keeping 2w bits.
+func (bb *Blaster) multiplier2w(a, b []sat.Lit) []sat.Lit {
+	return bb.multiplier(a, b)
+}
+
+// shifter is a logarithmic barrel shifter. Shift amounts >= w produce 0
+// (shl/lshr) or sign fill (ashr), matching bv semantics.
+func (bb *Blaster) shifter(op bv.Op, a, sh []sat.Lit) []sat.Lit {
+	w := len(a)
+	cur := append([]sat.Lit{}, a...)
+	fill := bb.constFalse()
+	if op == bv.OpBvAshr {
+		fill = a[w-1]
+	}
+	// Apply each shift-amount bit that is < bit-length of (w-1).
+	for s := 0; s < len(sh); s++ {
+		amt := 1 << s
+		if amt >= w {
+			break
+		}
+		next := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			var shifted sat.Lit
+			switch op {
+			case bv.OpBvShl:
+				if i >= amt {
+					shifted = cur[i-amt]
+				} else {
+					shifted = bb.constFalse()
+				}
+			default: // lshr, ashr
+				if i+amt < w {
+					shifted = cur[i+amt]
+				} else {
+					shifted = fill
+				}
+			}
+			next[i] = bb.muxGate(sh[s], shifted, cur[i])
+		}
+		cur = next
+	}
+	// Out-of-range shift amounts (sh >= w) produce all-fill output
+	// (zero for shl/lshr, sign fill for ashr).
+	wConst := make([]sat.Lit, len(sh))
+	for i := range wConst {
+		wConst[i] = bb.constLit(uint64(w)>>i&1 == 1)
+	}
+	geW := bb.ultGate(sh, wConst).Not() // sh >= w
+	out := make([]sat.Lit, w)
+	shlFill := bb.constFalse()
+	if op == bv.OpBvAshr {
+		shlFill = fill
+	}
+	for i := 0; i < w; i++ {
+		out[i] = bb.muxGate(geW, shlFill, cur[i])
+	}
+	return out
+}
+
+// equality returns a literal equivalent to a == b (bitwise).
+func (bb *Blaster) equality(a, b []sat.Lit) sat.Lit {
+	acc := bb.constTrue()
+	for i := range a {
+		acc = bb.andGate(acc, bb.xorGate(a[i], b[i]).Not())
+	}
+	return acc
+}
+
+// ultGate returns a literal equivalent to a < b (unsigned).
+func (bb *Blaster) ultGate(a, b []sat.Lit) sat.Lit {
+	// Ripple from LSB: lt_i = (~a_i & b_i) | (a_i == b_i) & lt_{i-1}
+	lt := bb.constFalse()
+	for i := 0; i < len(a); i++ {
+		below := bb.andGate(a[i].Not(), b[i])
+		eq := bb.xorGate(a[i], b[i]).Not()
+		lt = bb.andGate(below.Not(), bb.andGate(eq, lt).Not()).Not()
+	}
+	return lt
+}
+
+// sltGate returns a literal equivalent to a < b (signed): flip sign bits
+// and compare unsigned.
+func (bb *Blaster) sltGate(a, b []sat.Lit) sat.Lit {
+	w := len(a)
+	a2 := append([]sat.Lit{}, a...)
+	b2 := append([]sat.Lit{}, b...)
+	a2[w-1] = a2[w-1].Not()
+	b2[w-1] = b2[w-1].Not()
+	return bb.ultGate(a2, b2)
+}
+
+// Value reads back the value of term t from the solver's model (valid
+// after a Sat answer). Bool terms yield 0 or 1.
+func (bb *Blaster) Value(t *bv.Term) uint64 {
+	ls, ok := bb.cache[t]
+	if !ok {
+		panic("bitblast: Value of un-blasted term")
+	}
+	var v uint64
+	for i, l := range ls {
+		bit := bb.S.Model(l.Var())
+		if l.Neg() {
+			bit = !bit
+		}
+		if bit {
+			v |= 1 << i
+		}
+	}
+	return v
+}

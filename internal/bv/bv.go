@@ -1,0 +1,1057 @@
+// Package bv implements a quantifier-free bit-vector (QF_BV) term
+// language: hash-consed term DAGs over boolean and fixed-width bit-vector
+// sorts, a rewriting simplifier with constant folding, a concrete
+// evaluator, and an SMT-LIB-flavoured printer.
+//
+// Terms are created through a Builder, which interns structurally equal
+// terms so that equality of *Term pointers coincides with structural
+// equality. All semantic models in internal/ir and internal/x86 are
+// expressed as bv terms, and internal/bitblast lowers them to CNF.
+package bv
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Sort describes the type of a term: Bool, or a BitVec of a given width.
+type Sort struct {
+	// Width is 0 for Bool, otherwise the bit-vector width (1..64).
+	Width int
+}
+
+// Bool is the boolean sort.
+var Bool = Sort{Width: 0}
+
+// BitVec returns the bit-vector sort of width w (1..64).
+func BitVec(w int) Sort {
+	if w < 1 || w > 64 {
+		panic(fmt.Sprintf("bv: unsupported bit-vector width %d", w))
+	}
+	return Sort{Width: w}
+}
+
+// IsBool reports whether the sort is boolean.
+func (s Sort) IsBool() bool { return s.Width == 0 }
+
+func (s Sort) String() string {
+	if s.IsBool() {
+		return "Bool"
+	}
+	return fmt.Sprintf("(_ BitVec %d)", s.Width)
+}
+
+// Op enumerates term constructors.
+type Op int
+
+const (
+	// OpConst is a constant; Term.Val holds the value (for Bool, 0 or 1).
+	OpConst Op = iota
+	// OpVar is a free variable; Term.Name holds its name.
+	OpVar
+
+	// Boolean connectives (args are Bool, result Bool).
+	OpNot
+	OpAnd
+	OpOr
+	OpXor
+	OpImplies
+	OpIff
+
+	// Bit-vector bitwise ops (args and result share a BitVec sort).
+	OpBvNot
+	OpBvAnd
+	OpBvOr
+	OpBvXor
+
+	// Bit-vector arithmetic.
+	OpBvNeg
+	OpBvAdd
+	OpBvSub
+	OpBvMul
+	OpBvUdiv
+	OpBvUrem
+
+	// Shifts: second argument is the shift amount (same width).
+	OpBvShl
+	OpBvLshr
+	OpBvAshr
+
+	// Predicates (args BitVec, result Bool).
+	OpEq
+	OpUlt
+	OpUle
+	OpSlt
+	OpSle
+
+	// Structure.
+	OpIte     // ite(Bool, T, T) : T (T is Bool or BitVec)
+	OpExtract // extract[Hi:Lo](bv)
+	OpConcat  // concat(hi, lo)
+	OpZext    // zero-extend to Term.Hi bits
+	OpSext    // sign-extend to Term.Hi bits
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpVar: "var",
+	OpNot: "not", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpImplies: "=>", OpIff: "iff",
+	OpBvNot: "bvnot", OpBvAnd: "bvand", OpBvOr: "bvor", OpBvXor: "bvxor",
+	OpBvNeg: "bvneg", OpBvAdd: "bvadd", OpBvSub: "bvsub", OpBvMul: "bvmul",
+	OpBvUdiv: "bvudiv", OpBvUrem: "bvurem",
+	OpBvShl: "bvshl", OpBvLshr: "bvlshr", OpBvAshr: "bvashr",
+	OpEq: "=", OpUlt: "bvult", OpUle: "bvule", OpSlt: "bvslt", OpSle: "bvsle",
+	OpIte: "ite", OpExtract: "extract", OpConcat: "concat",
+	OpZext: "zero_extend", OpSext: "sign_extend",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Term is an immutable, interned term node. Compare with ==.
+type Term struct {
+	Op   Op
+	Sort Sort
+	Args []*Term
+	// Val is the constant value for OpConst (truncated to Sort.Width bits).
+	Val uint64
+	// Name is the variable name for OpVar.
+	Name string
+	// Hi, Lo parameterize OpExtract (bit range) and OpZext/OpSext (Hi =
+	// target width).
+	Hi, Lo int
+
+	id int // unique per builder, for canonical ordering and maps
+}
+
+// ID returns the term's builder-unique id. Useful as a map key when the
+// *Term pointer itself is inconvenient.
+func (t *Term) ID() int { return t.id }
+
+// IsConst reports whether t is a constant.
+func (t *Term) IsConst() bool { return t.Op == OpConst }
+
+// ConstValue returns the constant's value. Panics if t is not a constant.
+func (t *Term) ConstValue() uint64 {
+	if t.Op != OpConst {
+		panic("bv: ConstValue of non-constant")
+	}
+	return t.Val
+}
+
+// Builder interns terms. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	table map[termKey]*Term
+	vars  map[string]*Term
+	next  int
+
+	// Simplify controls whether constructors apply rewriting rules.
+	// Enabled by default; disable for the simplifier ablation experiment.
+	Simplify bool
+}
+
+type termKey struct {
+	op         Op
+	sort       Sort
+	a0, a1, a2 int // ids of up to 3 args (-1 when absent)
+	val        uint64
+	name       string
+	hi, lo     int
+}
+
+// NewBuilder returns an empty term builder with simplification enabled.
+func NewBuilder() *Builder {
+	return &Builder{table: make(map[termKey]*Term), vars: make(map[string]*Term), Simplify: true}
+}
+
+func (b *Builder) intern(t *Term) *Term {
+	k := termKey{op: t.Op, sort: t.Sort, a0: -1, a1: -1, a2: -1,
+		val: t.Val, name: t.Name, hi: t.Hi, lo: t.Lo}
+	if len(t.Args) > 3 {
+		panic("bv: term with more than 3 args")
+	}
+	for i, a := range t.Args {
+		switch i {
+		case 0:
+			k.a0 = a.id
+		case 1:
+			k.a1 = a.id
+		case 2:
+			k.a2 = a.id
+		}
+	}
+	if ex, ok := b.table[k]; ok {
+		return ex
+	}
+	t.id = b.next
+	b.next++
+	b.table[k] = t
+	return t
+}
+
+// NumTerms returns the number of distinct interned terms.
+func (b *Builder) NumTerms() int { return b.next }
+
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// Mask returns the all-ones value of width w. Exposed for model decoding.
+func Mask(w int) uint64 { return mask(w) }
+
+// SignBit reports whether the width-w value v has its sign bit set.
+func SignBit(v uint64, w int) bool { return v>>(w-1)&1 == 1 }
+
+// SignExtendTo64 interprets v as a w-bit two's-complement value and
+// returns it sign-extended to 64 bits.
+func SignExtendTo64(v uint64, w int) uint64 {
+	if w == 64 || !SignBit(v, w) {
+		return v
+	}
+	return v | ^mask(w)
+}
+
+// --- Leaf constructors ---
+
+// Const returns the constant v truncated to width w.
+func (b *Builder) Const(v uint64, w int) *Term {
+	s := BitVec(w)
+	return b.intern(&Term{Op: OpConst, Sort: s, Val: v & mask(w)})
+}
+
+// BoolConst returns the boolean constant.
+func (b *Builder) BoolConst(v bool) *Term {
+	val := uint64(0)
+	if v {
+		val = 1
+	}
+	return b.intern(&Term{Op: OpConst, Sort: Bool, Val: val})
+}
+
+// Var returns the free variable of the given name and sort. Two calls
+// with the same name must use the same sort.
+func (b *Builder) Var(name string, s Sort) *Term {
+	if ex, ok := b.vars[name]; ok {
+		if ex.Sort != s {
+			panic(fmt.Sprintf("bv: variable %q redeclared with sort %v (was %v)", name, s, ex.Sort))
+		}
+		return ex
+	}
+	t := b.intern(&Term{Op: OpVar, Sort: s, Name: name})
+	b.vars[name] = t
+	return t
+}
+
+func (b *Builder) checkBV(op Op, args ...*Term) int {
+	w := args[0].Sort.Width
+	if w == 0 {
+		panic(fmt.Sprintf("bv: %v applied to Bool argument", op))
+	}
+	for _, a := range args[1:] {
+		if a.Sort.Width != w {
+			panic(fmt.Sprintf("bv: %v width mismatch: %d vs %d", op, w, a.Sort.Width))
+		}
+	}
+	return w
+}
+
+func (b *Builder) checkBool(op Op, args ...*Term) {
+	for _, a := range args {
+		if !a.Sort.IsBool() {
+			panic(fmt.Sprintf("bv: %v applied to non-Bool argument", op))
+		}
+	}
+}
+
+// --- Boolean connectives ---
+
+// Not returns the boolean negation of a.
+func (b *Builder) Not(a *Term) *Term {
+	b.checkBool(OpNot, a)
+	if b.Simplify {
+		if a.IsConst() {
+			return b.BoolConst(a.Val == 0)
+		}
+		if a.Op == OpNot {
+			return a.Args[0]
+		}
+	}
+	return b.intern(&Term{Op: OpNot, Sort: Bool, Args: []*Term{a}})
+}
+
+// And returns the conjunction of the given boolean terms. And() is true.
+func (b *Builder) And(args ...*Term) *Term {
+	b.checkBool(OpAnd, args...)
+	acc := b.BoolConst(true)
+	for _, a := range args {
+		acc = b.and2(acc, a)
+	}
+	return acc
+}
+
+func (b *Builder) and2(x, y *Term) *Term {
+	if b.Simplify {
+		if x.IsConst() {
+			if x.Val == 0 {
+				return x
+			}
+			return y
+		}
+		if y.IsConst() {
+			if y.Val == 0 {
+				return y
+			}
+			return x
+		}
+		if x == y {
+			return x
+		}
+		if (x.Op == OpNot && x.Args[0] == y) || (y.Op == OpNot && y.Args[0] == x) {
+			return b.BoolConst(false)
+		}
+	}
+	x, y = orderPair(x, y)
+	return b.intern(&Term{Op: OpAnd, Sort: Bool, Args: []*Term{x, y}})
+}
+
+// Or returns the disjunction of the given boolean terms. Or() is false.
+func (b *Builder) Or(args ...*Term) *Term {
+	b.checkBool(OpOr, args...)
+	acc := b.BoolConst(false)
+	for _, a := range args {
+		acc = b.or2(acc, a)
+	}
+	return acc
+}
+
+func (b *Builder) or2(x, y *Term) *Term {
+	if b.Simplify {
+		if x.IsConst() {
+			if x.Val == 1 {
+				return x
+			}
+			return y
+		}
+		if y.IsConst() {
+			if y.Val == 1 {
+				return y
+			}
+			return x
+		}
+		if x == y {
+			return x
+		}
+		if (x.Op == OpNot && x.Args[0] == y) || (y.Op == OpNot && y.Args[0] == x) {
+			return b.BoolConst(true)
+		}
+	}
+	x, y = orderPair(x, y)
+	return b.intern(&Term{Op: OpOr, Sort: Bool, Args: []*Term{x, y}})
+}
+
+// Xor returns the exclusive-or of two boolean terms.
+func (b *Builder) Xor(x, y *Term) *Term {
+	b.checkBool(OpXor, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			return b.BoolConst(x.Val != y.Val)
+		}
+		if x == y {
+			return b.BoolConst(false)
+		}
+		if x.IsConst() {
+			if x.Val == 0 {
+				return y
+			}
+			return b.Not(y)
+		}
+		if y.IsConst() {
+			if y.Val == 0 {
+				return x
+			}
+			return b.Not(x)
+		}
+	}
+	x, y = orderPair(x, y)
+	return b.intern(&Term{Op: OpXor, Sort: Bool, Args: []*Term{x, y}})
+}
+
+// Implies returns x => y.
+func (b *Builder) Implies(x, y *Term) *Term {
+	b.checkBool(OpImplies, x, y)
+	return b.Or(b.Not(x), y)
+}
+
+// Iff returns x <=> y.
+func (b *Builder) Iff(x, y *Term) *Term {
+	b.checkBool(OpIff, x, y)
+	return b.Not(b.Xor(x, y))
+}
+
+// --- Bit-vector operations ---
+
+func orderPair(x, y *Term) (*Term, *Term) {
+	if y.id < x.id {
+		return y, x
+	}
+	return x, y
+}
+
+// BvNot returns the bitwise complement.
+func (b *Builder) BvNot(a *Term) *Term {
+	w := b.checkBV(OpBvNot, a)
+	if b.Simplify {
+		if a.IsConst() {
+			return b.Const(^a.Val, w)
+		}
+		if a.Op == OpBvNot {
+			return a.Args[0]
+		}
+	}
+	return b.intern(&Term{Op: OpBvNot, Sort: a.Sort, Args: []*Term{a}})
+}
+
+// BvAnd returns the bitwise conjunction.
+func (b *Builder) BvAnd(x, y *Term) *Term {
+	w := b.checkBV(OpBvAnd, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			return b.Const(x.Val&y.Val, w)
+		}
+		if x == y {
+			return x
+		}
+		if x.IsConst() {
+			if x.Val == 0 {
+				return x
+			}
+			if x.Val == mask(w) {
+				return y
+			}
+		}
+		if y.IsConst() {
+			if y.Val == 0 {
+				return y
+			}
+			if y.Val == mask(w) {
+				return x
+			}
+		}
+	}
+	x, y = orderPair(x, y)
+	return b.intern(&Term{Op: OpBvAnd, Sort: x.Sort, Args: []*Term{x, y}})
+}
+
+// BvOr returns the bitwise disjunction.
+func (b *Builder) BvOr(x, y *Term) *Term {
+	w := b.checkBV(OpBvOr, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			return b.Const(x.Val|y.Val, w)
+		}
+		if x == y {
+			return x
+		}
+		if x.IsConst() {
+			if x.Val == 0 {
+				return y
+			}
+			if x.Val == mask(w) {
+				return x
+			}
+		}
+		if y.IsConst() {
+			if y.Val == 0 {
+				return x
+			}
+			if y.Val == mask(w) {
+				return y
+			}
+		}
+	}
+	x, y = orderPair(x, y)
+	return b.intern(&Term{Op: OpBvOr, Sort: x.Sort, Args: []*Term{x, y}})
+}
+
+// BvXor returns the bitwise exclusive-or.
+func (b *Builder) BvXor(x, y *Term) *Term {
+	w := b.checkBV(OpBvXor, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			return b.Const(x.Val^y.Val, w)
+		}
+		if x == y {
+			return b.Const(0, w)
+		}
+		if x.IsConst() && x.Val == 0 {
+			return y
+		}
+		if y.IsConst() && y.Val == 0 {
+			return x
+		}
+		if x.IsConst() && x.Val == mask(w) {
+			return b.BvNot(y)
+		}
+		if y.IsConst() && y.Val == mask(w) {
+			return b.BvNot(x)
+		}
+	}
+	x, y = orderPair(x, y)
+	return b.intern(&Term{Op: OpBvXor, Sort: x.Sort, Args: []*Term{x, y}})
+}
+
+// BvNeg returns the two's-complement negation.
+func (b *Builder) BvNeg(a *Term) *Term {
+	w := b.checkBV(OpBvNeg, a)
+	if b.Simplify {
+		if a.IsConst() {
+			return b.Const(-a.Val, w)
+		}
+		if a.Op == OpBvNeg {
+			return a.Args[0]
+		}
+	}
+	return b.intern(&Term{Op: OpBvNeg, Sort: a.Sort, Args: []*Term{a}})
+}
+
+// BvAdd returns the sum modulo 2^w.
+func (b *Builder) BvAdd(x, y *Term) *Term {
+	w := b.checkBV(OpBvAdd, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			return b.Const(x.Val+y.Val, w)
+		}
+		if x.IsConst() && x.Val == 0 {
+			return y
+		}
+		if y.IsConst() && y.Val == 0 {
+			return x
+		}
+	}
+	x, y = orderPair(x, y)
+	return b.intern(&Term{Op: OpBvAdd, Sort: x.Sort, Args: []*Term{x, y}})
+}
+
+// BvSub returns the difference modulo 2^w.
+func (b *Builder) BvSub(x, y *Term) *Term {
+	w := b.checkBV(OpBvSub, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			return b.Const(x.Val-y.Val, w)
+		}
+		if y.IsConst() && y.Val == 0 {
+			return x
+		}
+		if x == y {
+			return b.Const(0, w)
+		}
+	}
+	return b.intern(&Term{Op: OpBvSub, Sort: x.Sort, Args: []*Term{x, y}})
+}
+
+// BvMul returns the product modulo 2^w.
+func (b *Builder) BvMul(x, y *Term) *Term {
+	w := b.checkBV(OpBvMul, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			return b.Const(x.Val*y.Val, w)
+		}
+		if x.IsConst() {
+			if x.Val == 0 {
+				return x
+			}
+			if x.Val == 1 {
+				return y
+			}
+		}
+		if y.IsConst() {
+			if y.Val == 0 {
+				return y
+			}
+			if y.Val == 1 {
+				return x
+			}
+		}
+	}
+	x, y = orderPair(x, y)
+	return b.intern(&Term{Op: OpBvMul, Sort: x.Sort, Args: []*Term{x, y}})
+}
+
+// BvUdiv returns unsigned division; division by zero yields all-ones
+// (the SMT-LIB convention).
+func (b *Builder) BvUdiv(x, y *Term) *Term {
+	w := b.checkBV(OpBvUdiv, x, y)
+	if b.Simplify && x.IsConst() && y.IsConst() {
+		if y.Val == 0 {
+			return b.Const(mask(w), w)
+		}
+		return b.Const(x.Val/y.Val, w)
+	}
+	return b.intern(&Term{Op: OpBvUdiv, Sort: x.Sort, Args: []*Term{x, y}})
+}
+
+// BvUrem returns the unsigned remainder; remainder by zero yields x
+// (the SMT-LIB convention).
+func (b *Builder) BvUrem(x, y *Term) *Term {
+	b.checkBV(OpBvUrem, x, y)
+	if b.Simplify && x.IsConst() && y.IsConst() {
+		if y.Val == 0 {
+			return x
+		}
+		return b.Const(x.Val%y.Val, x.Sort.Width)
+	}
+	return b.intern(&Term{Op: OpBvUrem, Sort: x.Sort, Args: []*Term{x, y}})
+}
+
+// BvShl returns x shifted left by y; shifts ≥ w yield zero.
+func (b *Builder) BvShl(x, y *Term) *Term {
+	w := b.checkBV(OpBvShl, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			if y.Val >= uint64(w) {
+				return b.Const(0, w)
+			}
+			return b.Const(x.Val<<y.Val, w)
+		}
+		if y.IsConst() && y.Val == 0 {
+			return x
+		}
+	}
+	return b.intern(&Term{Op: OpBvShl, Sort: x.Sort, Args: []*Term{x, y}})
+}
+
+// BvLshr returns the logical right shift; shifts ≥ w yield zero.
+func (b *Builder) BvLshr(x, y *Term) *Term {
+	w := b.checkBV(OpBvLshr, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			if y.Val >= uint64(w) {
+				return b.Const(0, w)
+			}
+			return b.Const((x.Val&mask(w))>>y.Val, w)
+		}
+		if y.IsConst() && y.Val == 0 {
+			return x
+		}
+	}
+	return b.intern(&Term{Op: OpBvLshr, Sort: x.Sort, Args: []*Term{x, y}})
+}
+
+// BvAshr returns the arithmetic right shift; shifts ≥ w yield the sign
+// fill.
+func (b *Builder) BvAshr(x, y *Term) *Term {
+	w := b.checkBV(OpBvAshr, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			sx := SignExtendTo64(x.Val&mask(w), w)
+			sh := y.Val
+			if sh >= uint64(w) {
+				sh = uint64(w - 1)
+			}
+			return b.Const(uint64(int64(sx)>>sh), w)
+		}
+		if y.IsConst() && y.Val == 0 {
+			return x
+		}
+	}
+	return b.intern(&Term{Op: OpBvAshr, Sort: x.Sort, Args: []*Term{x, y}})
+}
+
+// --- Predicates ---
+
+// Eq returns x = y (both Bool or both the same BitVec sort).
+func (b *Builder) Eq(x, y *Term) *Term {
+	if x.Sort != y.Sort {
+		panic(fmt.Sprintf("bv: = sort mismatch: %v vs %v", x.Sort, y.Sort))
+	}
+	if b.Simplify {
+		if x == y {
+			return b.BoolConst(true)
+		}
+		if x.IsConst() && y.IsConst() {
+			return b.BoolConst(x.Val == y.Val)
+		}
+	}
+	x, y = orderPair(x, y)
+	return b.intern(&Term{Op: OpEq, Sort: Bool, Args: []*Term{x, y}})
+}
+
+// Distinct returns the pairwise-distinct constraint over the terms.
+func (b *Builder) Distinct(ts ...*Term) *Term {
+	acc := b.BoolConst(true)
+	for i := range ts {
+		for j := i + 1; j < len(ts); j++ {
+			acc = b.And(acc, b.Not(b.Eq(ts[i], ts[j])))
+		}
+	}
+	return acc
+}
+
+// Ult returns the unsigned less-than predicate.
+func (b *Builder) Ult(x, y *Term) *Term {
+	b.checkBV(OpUlt, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			return b.BoolConst(x.Val < y.Val)
+		}
+		if x == y {
+			return b.BoolConst(false)
+		}
+	}
+	return b.intern(&Term{Op: OpUlt, Sort: Bool, Args: []*Term{x, y}})
+}
+
+// Ule returns the unsigned less-or-equal predicate.
+func (b *Builder) Ule(x, y *Term) *Term {
+	b.checkBV(OpUle, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			return b.BoolConst(x.Val <= y.Val)
+		}
+		if x == y {
+			return b.BoolConst(true)
+		}
+	}
+	return b.intern(&Term{Op: OpUle, Sort: Bool, Args: []*Term{x, y}})
+}
+
+// Slt returns the signed less-than predicate.
+func (b *Builder) Slt(x, y *Term) *Term {
+	w := b.checkBV(OpSlt, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			return b.BoolConst(int64(SignExtendTo64(x.Val, w)) < int64(SignExtendTo64(y.Val, w)))
+		}
+		if x == y {
+			return b.BoolConst(false)
+		}
+	}
+	return b.intern(&Term{Op: OpSlt, Sort: Bool, Args: []*Term{x, y}})
+}
+
+// Sle returns the signed less-or-equal predicate.
+func (b *Builder) Sle(x, y *Term) *Term {
+	w := b.checkBV(OpSle, x, y)
+	if b.Simplify {
+		if x.IsConst() && y.IsConst() {
+			return b.BoolConst(int64(SignExtendTo64(x.Val, w)) <= int64(SignExtendTo64(y.Val, w)))
+		}
+		if x == y {
+			return b.BoolConst(true)
+		}
+	}
+	return b.intern(&Term{Op: OpSle, Sort: Bool, Args: []*Term{x, y}})
+}
+
+// --- Structure ---
+
+// Ite returns if-then-else; t and e must share a sort.
+func (b *Builder) Ite(c, t, e *Term) *Term {
+	b.checkBool(OpIte, c)
+	if t.Sort != e.Sort {
+		panic(fmt.Sprintf("bv: ite branch sorts differ: %v vs %v", t.Sort, e.Sort))
+	}
+	if b.Simplify {
+		if c.IsConst() {
+			if c.Val == 1 {
+				return t
+			}
+			return e
+		}
+		if t == e {
+			return t
+		}
+	}
+	return b.intern(&Term{Op: OpIte, Sort: t.Sort, Args: []*Term{c, t, e}})
+}
+
+// Extract returns bits hi..lo (inclusive) of a, as a BitVec(hi-lo+1).
+func (b *Builder) Extract(a *Term, hi, lo int) *Term {
+	w := a.Sort.Width
+	if w == 0 || hi >= w || lo < 0 || hi < lo {
+		panic(fmt.Sprintf("bv: extract[%d:%d] of %v", hi, lo, a.Sort))
+	}
+	nw := hi - lo + 1
+	if b.Simplify {
+		if a.IsConst() {
+			return b.Const(a.Val>>lo, nw)
+		}
+		if nw == w {
+			return a
+		}
+	}
+	return b.intern(&Term{Op: OpExtract, Sort: BitVec(nw), Args: []*Term{a}, Hi: hi, Lo: lo})
+}
+
+// Concat returns hi ++ lo with hi in the most significant bits.
+func (b *Builder) Concat(hi, lo *Term) *Term {
+	wh, wl := hi.Sort.Width, lo.Sort.Width
+	if wh == 0 || wl == 0 {
+		panic("bv: concat of Bool")
+	}
+	if wh+wl > 64 {
+		panic(fmt.Sprintf("bv: concat width %d exceeds 64", wh+wl))
+	}
+	if b.Simplify && hi.IsConst() && lo.IsConst() {
+		return b.Const(hi.Val<<wl|lo.Val, wh+wl)
+	}
+	return b.intern(&Term{Op: OpConcat, Sort: BitVec(wh + wl), Args: []*Term{hi, lo}})
+}
+
+// Zext zero-extends a to the given width.
+func (b *Builder) Zext(a *Term, w int) *Term {
+	aw := a.Sort.Width
+	if aw == 0 || w < aw {
+		panic(fmt.Sprintf("bv: zext %v to %d", a.Sort, w))
+	}
+	if w == aw {
+		return a
+	}
+	if b.Simplify && a.IsConst() {
+		return b.Const(a.Val, w)
+	}
+	return b.intern(&Term{Op: OpZext, Sort: BitVec(w), Args: []*Term{a}, Hi: w})
+}
+
+// Sext sign-extends a to the given width.
+func (b *Builder) Sext(a *Term, w int) *Term {
+	aw := a.Sort.Width
+	if aw == 0 || w < aw {
+		panic(fmt.Sprintf("bv: sext %v to %d", a.Sort, w))
+	}
+	if w == aw {
+		return a
+	}
+	if b.Simplify && a.IsConst() {
+		return b.Const(SignExtendTo64(a.Val, aw), w)
+	}
+	return b.intern(&Term{Op: OpSext, Sort: BitVec(w), Args: []*Term{a}, Hi: w})
+}
+
+// BoolToBV returns a 1-bit vector that is 1 when c holds.
+func (b *Builder) BoolToBV(c *Term) *Term {
+	return b.Ite(c, b.Const(1, 1), b.Const(0, 1))
+}
+
+// --- Evaluation ---
+
+// Model maps variable names to concrete values (Bool: 0 or 1).
+type Model map[string]uint64
+
+// Eval evaluates t under m. Unbound variables evaluate to zero. The
+// result is truncated to the term's width (Bool: 0 or 1).
+func Eval(t *Term, m Model) uint64 {
+	cache := make(map[*Term]uint64)
+	return eval(t, m, cache)
+}
+
+func eval(t *Term, m Model, cache map[*Term]uint64) uint64 {
+	if v, ok := cache[t]; ok {
+		return v
+	}
+	var v uint64
+	w := t.Sort.Width
+	arg := func(i int) uint64 { return eval(t.Args[i], m, cache) }
+	switch t.Op {
+	case OpConst:
+		v = t.Val
+	case OpVar:
+		v = m[t.Name]
+		if !t.Sort.IsBool() {
+			v &= mask(w)
+		}
+	case OpNot:
+		v = 1 - arg(0)
+	case OpAnd:
+		v = arg(0) & arg(1)
+	case OpOr:
+		v = arg(0) | arg(1)
+	case OpXor:
+		v = arg(0) ^ arg(1)
+	case OpImplies:
+		v = (1 - arg(0)) | arg(1)
+	case OpIff:
+		if arg(0) == arg(1) {
+			v = 1
+		}
+	case OpBvNot:
+		v = ^arg(0) & mask(w)
+	case OpBvAnd:
+		v = arg(0) & arg(1)
+	case OpBvOr:
+		v = arg(0) | arg(1)
+	case OpBvXor:
+		v = arg(0) ^ arg(1)
+	case OpBvNeg:
+		v = -arg(0) & mask(w)
+	case OpBvAdd:
+		v = (arg(0) + arg(1)) & mask(w)
+	case OpBvSub:
+		v = (arg(0) - arg(1)) & mask(w)
+	case OpBvMul:
+		v = (arg(0) * arg(1)) & mask(w)
+	case OpBvUdiv:
+		d := arg(1)
+		if d == 0 {
+			v = mask(w)
+		} else {
+			v = arg(0) / d
+		}
+	case OpBvUrem:
+		d := arg(1)
+		if d == 0 {
+			v = arg(0)
+		} else {
+			v = arg(0) % d
+		}
+	case OpBvShl:
+		sh := arg(1)
+		if sh >= uint64(w) {
+			v = 0
+		} else {
+			v = arg(0) << sh & mask(w)
+		}
+	case OpBvLshr:
+		sh := arg(1)
+		if sh >= uint64(w) {
+			v = 0
+		} else {
+			v = arg(0) >> sh
+		}
+	case OpBvAshr:
+		sh := arg(1)
+		if sh >= uint64(w) {
+			sh = uint64(w - 1)
+		}
+		v = uint64(int64(SignExtendTo64(arg(0), w))>>sh) & mask(w)
+	case OpEq:
+		if arg(0) == arg(1) {
+			v = 1
+		}
+	case OpUlt:
+		if arg(0) < arg(1) {
+			v = 1
+		}
+	case OpUle:
+		if arg(0) <= arg(1) {
+			v = 1
+		}
+	case OpSlt:
+		aw := t.Args[0].Sort.Width
+		if int64(SignExtendTo64(arg(0), aw)) < int64(SignExtendTo64(arg(1), aw)) {
+			v = 1
+		}
+	case OpSle:
+		aw := t.Args[0].Sort.Width
+		if int64(SignExtendTo64(arg(0), aw)) <= int64(SignExtendTo64(arg(1), aw)) {
+			v = 1
+		}
+	case OpIte:
+		if arg(0) == 1 {
+			v = arg(1)
+		} else {
+			v = arg(2)
+		}
+	case OpExtract:
+		v = arg(0) >> t.Lo & mask(w)
+	case OpConcat:
+		v = arg(0)<<t.Args[1].Sort.Width | arg(1)
+	case OpZext:
+		v = arg(0)
+	case OpSext:
+		v = SignExtendTo64(arg(0), t.Args[0].Sort.Width) & mask(w)
+	default:
+		panic(fmt.Sprintf("bv: eval of unknown op %v", t.Op))
+	}
+	cache[t] = v
+	return v
+}
+
+// --- Printing ---
+
+// String renders the term as an SMT-LIB-like s-expression.
+func (t *Term) String() string {
+	var sb strings.Builder
+	t.write(&sb)
+	return sb.String()
+}
+
+func (t *Term) write(sb *strings.Builder) {
+	switch t.Op {
+	case OpConst:
+		if t.Sort.IsBool() {
+			if t.Val == 1 {
+				sb.WriteString("true")
+			} else {
+				sb.WriteString("false")
+			}
+			return
+		}
+		fmt.Fprintf(sb, "#x%0*x", (t.Sort.Width+3)/4, t.Val)
+	case OpVar:
+		sb.WriteString(t.Name)
+	case OpExtract:
+		fmt.Fprintf(sb, "((_ extract %d %d) ", t.Hi, t.Lo)
+		t.Args[0].write(sb)
+		sb.WriteByte(')')
+	case OpZext, OpSext:
+		fmt.Fprintf(sb, "((_ %s %d) ", opNames[t.Op], t.Hi-t.Args[0].Sort.Width)
+		t.Args[0].write(sb)
+		sb.WriteByte(')')
+	default:
+		sb.WriteByte('(')
+		sb.WriteString(opNames[t.Op])
+		for _, a := range t.Args {
+			sb.WriteByte(' ')
+			a.write(sb)
+		}
+		sb.WriteByte(')')
+	}
+}
+
+// Vars returns the distinct free variables of t in first-occurrence
+// order of a depth-first walk.
+func Vars(t *Term) []*Term {
+	var out []*Term
+	seen := make(map[*Term]bool)
+	var walk func(*Term)
+	walk = func(u *Term) {
+		if seen[u] {
+			return
+		}
+		seen[u] = true
+		if u.Op == OpVar {
+			out = append(out, u)
+			return
+		}
+		for _, a := range u.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Size returns the number of distinct nodes in the term DAG.
+func Size(t *Term) int {
+	seen := make(map[*Term]bool)
+	var walk func(*Term)
+	walk = func(u *Term) {
+		if seen[u] {
+			return
+		}
+		seen[u] = true
+		for _, a := range u.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	return len(seen)
+}
+
+// PopCount is a helper for semantic models that need population counts
+// of constants (e.g. parity flags).
+func PopCount(v uint64) int { return bits.OnesCount64(v) }

@@ -1,0 +1,69 @@
+package cegis
+
+import (
+	"testing"
+
+	"selgen/internal/bv"
+	"selgen/internal/ir"
+	"selgen/internal/sem"
+	"selgen/internal/x86"
+)
+
+// TestNaiveMemoryEncodingAgrees checks the ablation encoding is still
+// sound: synthesizing mov.load under the naive reduced-address-space
+// model yields the Load pattern too.
+func TestNaiveMemoryEncodingAgrees(t *testing.T) {
+	goal := x86.MovLoad(x86.AM{Base: true})
+	e := New(ir.Ops(), Config{Width: 8, MaxLen: 2, Seed: 1, NaiveMemSlots: 4})
+	res, err := e.Synthesize(goal)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	if res.MinLen != 1 || len(res.Patterns) == 0 {
+		t.Fatalf("naive encoding: ℓ=%d with %d patterns", res.MinLen, len(res.Patterns))
+	}
+	if res.Patterns[0].Nodes[0].Op != "Load" {
+		t.Fatalf("unexpected pattern: %s", res.Patterns[0].String())
+	}
+}
+
+// TestNonNormalizedModeFindsDoubling verifies the AllowNonNormalized
+// switch: 2x as Add(x,x) is only expressible without the normal-form
+// constraint.
+func TestNonNormalizedModeFindsDoubling(t *testing.T) {
+	goal := doubleGoal()
+	// Normalized: Add(x,x) is banned; minimal pattern becomes
+	// Shl(x, Const 1) at ℓ=2.
+	e := New(ir.Ops(), Config{Width: 8, MaxLen: 2, Seed: 1})
+	res, err := e.Synthesize(goal)
+	if err != nil {
+		t.Fatalf("normalized: %v", err)
+	}
+	if res.MinLen != 2 {
+		t.Fatalf("normalized doubling should need ℓ=2 (Shl+Const), got ℓ=%d: %v", res.MinLen, res.Patterns)
+	}
+	// Non-normalized: Add(x,x) at ℓ=1.
+	e2 := New(ir.Ops(), Config{Width: 8, MaxLen: 2, Seed: 1, AllowNonNormalized: true})
+	res2, err := e2.Synthesize(goal)
+	if err != nil {
+		t.Fatalf("non-normalized: %v", err)
+	}
+	if res2.MinLen != 1 {
+		t.Fatalf("non-normalized doubling should find Add(x,x) at ℓ=1, got ℓ=%d", res2.MinLen)
+	}
+	if res2.Patterns[0].Nodes[0].Op != "Add" {
+		t.Fatalf("expected Add(x,x): %s", res2.Patterns[0].String())
+	}
+}
+
+// doubleGoal is a one-argument machine instruction computing 2x.
+func doubleGoal() *sem.Instr {
+	return &sem.Instr{
+		Name:    "test.double",
+		Args:    []sem.Kind{sem.KindValue},
+		Results: []sem.Kind{sem.KindValue},
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{ctx.B.BvAdd(va[0], va[0])}}
+		},
+	}
+}

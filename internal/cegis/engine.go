@@ -1,0 +1,648 @@
+package cegis
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"selgen/internal/bv"
+	"selgen/internal/memmodel"
+	"selgen/internal/pattern"
+	"selgen/internal/sem"
+	"selgen/internal/smt"
+)
+
+// Config bounds a synthesis run.
+type Config struct {
+	// Width is the word width W (the paper uses 32; reduced widths make
+	// the pure-Go solver comparable to Z3 on the paper's workload).
+	Width int
+	// MaxLen is ℓmax, the largest multiset size explored.
+	MaxLen int
+	// MaxPatternsPerGoal stops the all-patterns enumeration per goal
+	// (0 = unlimited).
+	MaxPatternsPerGoal int
+	// MaxPatternsPerMultiset caps each multiset's enumeration
+	// (0 = unlimited). A small cap keeps one prolific multiset (e.g. a
+	// family of precondition-carved variants) from consuming the whole
+	// per-goal budget before later multisets are reached.
+	MaxPatternsPerMultiset int
+	// QueryConflicts caps each SMT query (0 = unlimited).
+	QueryConflicts int64
+	// Deadline aborts the whole run when exceeded (zero = none).
+	Deadline time.Time
+	// InitialTests is the number of seeded test cases (default 4).
+	InitialTests int
+	// Seed drives deterministic test-case seeding.
+	Seed int64
+	// DisablePruning turns the §5.4 skip criteria off (for the
+	// pruning-ablation experiment).
+	DisablePruning bool
+	// NaiveMemSlots, when positive, replaces the valid-pointer M-value
+	// encoding with the naive reduced-address-space encoding of that
+	// many word cells (power of two) — the memory-encoding ablation.
+	NaiveMemSlots int
+	// DisableTermSimplify turns off the bv rewriting simplifier inside
+	// synthesis and verification (the simplifier ablation).
+	DisableTermSimplify bool
+	// FreezeArgWitnesses adds, per value argument, an extra witness
+	// instantiation requiring two P+-satisfying inputs that differ in
+	// that argument — rejecting "precondition carving" that freezes an
+	// argument (e.g. rol(x,c) = x<<0 under P+ forcing c ≡ 0). Costly:
+	// one extra instantiation per argument per multiset; enable it for
+	// groups that need it (driver.RotateSetup does).
+	FreezeArgWitnesses bool
+	// RequireTotal demands the pattern's precondition hold wherever the
+	// goal's does (P(g) ⟹ P+), i.e. unconditional rules only. Off by
+	// default: instruction selection wants conditional rules too (a
+	// pattern with a narrower precondition covers IR whose behaviour is
+	// otherwise undefined). Superoptimization wants it on.
+	RequireTotal bool
+	// AllowNonNormalized disables the normal-form constraint in ϕwf
+	// (the §5.6 filter): with it set, the enumeration also returns
+	// patterns a canonicalizing compiler would never produce, such as
+	// Add(x,x) for 2x.
+	AllowNonNormalized bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width == 0 {
+		c.Width = 32
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 3
+	}
+	if c.InitialTests == 0 {
+		c.InitialTests = 4
+	}
+	return c
+}
+
+// ErrDeadline is returned when Config.Deadline expires mid-run.
+var ErrDeadline = errors.New("cegis: deadline exceeded")
+
+// Stats accumulates synthesis effort counters.
+type Stats struct {
+	// SynthQueries and VerifyQueries count SMT calls.
+	SynthQueries, VerifyQueries int64
+	// Counterexamples counts verification failures (new test cases).
+	Counterexamples int64
+	// MultisetsTried counts CEGIS runs over multisets.
+	MultisetsTried int64
+	// MultisetsSkipped counts §5.4 pruning skips (by criterion).
+	SkippedNoSource, SkippedConsumers, SkippedNoMemOps int64
+	// QueryTimeouts counts multisets abandoned because one SMT query
+	// exhausted its conflict budget (QueryConflicts).
+	QueryTimeouts int64
+	// Patterns counts valid patterns found.
+	Patterns int64
+}
+
+// Engine synthesizes IR patterns for goal machine instructions.
+type Engine struct {
+	cfg Config
+	ops []*sem.Instr
+
+	// Stats accumulate across Synthesize calls.
+	Stats Stats
+}
+
+// New returns an engine over the IR operation set I.
+func New(ops []*sem.Instr, cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), ops: ops}
+}
+
+// Width returns the configured word width.
+func (e *Engine) Width() int { return e.cfg.Width }
+
+// Ops returns the IR operation set.
+func (e *Engine) Ops() []*sem.Instr { return e.ops }
+
+func (e *Engine) deadlineExceeded() bool {
+	return !e.cfg.Deadline.IsZero() && time.Now().After(e.cfg.Deadline)
+}
+
+func (e *Engine) queryOpts() smt.Options {
+	o := smt.Options{MaxConflicts: e.cfg.QueryConflicts}
+	if !e.cfg.Deadline.IsZero() {
+		o.Timeout = time.Until(e.cfg.Deadline)
+	}
+	return o
+}
+
+// seedTests builds the initial test-case set for a goal: zeros, all
+// ones, and deterministic pseudorandom vectors.
+func (e *Engine) seedTests(goal *sem.Instr) [][]uint64 {
+	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(len(goal.Name))<<7))
+	n := len(goal.Args)
+	var out [][]uint64
+	zero := make([]uint64, n)
+	out = append(out, zero)
+	ones := make([]uint64, n)
+	for i := range ones {
+		ones[i] = ^uint64(0)
+	}
+	out = append(out, ones)
+	for len(out) < e.cfg.InitialTests {
+		tc := make([]uint64, n)
+		for i := range tc {
+			tc[i] = rng.Uint64()
+		}
+		out = append(out, tc)
+	}
+	return out
+}
+
+// verify checks a candidate pattern against the goal over all inputs
+// (the paper's verification query): it searches for a test case that
+// (1) meets the pattern's precondition but not the goal's, (2) makes
+// results differ, or (3) makes the pattern access an invalid address.
+// It returns (nil, true) when the pattern is correct, or a
+// counterexample test case.
+func (e *Engine) verify(goal *sem.Instr, p *pattern.Pattern) (cex []uint64, ok bool, err error) {
+	e.Stats.VerifyQueries++
+	b := bv.NewBuilder()
+	b.Simplify = !e.cfg.DisableTermSimplify
+	solver := smt.NewSolver(b)
+	ctx := &sem.Ctx{B: b, Width: e.cfg.Width}
+
+	va := make([]*bv.Term, len(goal.Args))
+	var model *memmodel.Model
+	if goal.AccessesMemory() {
+		// Build value args first; pointers may depend on them.
+		for i, k := range goal.Args {
+			if k != sem.KindMem {
+				va[i] = b.Var(fmt.Sprintf("v_a%d", i), ctx.SortOf(k))
+			}
+		}
+		if e.cfg.NaiveMemSlots > 0 {
+			model = memmodel.NewNaive(b, e.cfg.Width, e.cfg.NaiveMemSlots)
+		} else {
+			ptrs := memmodel.PtrsFor(b, e.cfg.Width, goal, va, nil)
+			model = memmodel.New(b, e.cfg.Width, ptrs)
+		}
+		ctx.Mem = model
+		for i, k := range goal.Args {
+			if k == sem.KindMem {
+				va[i] = b.Var(fmt.Sprintf("v_a%d", i), model.Sort())
+			}
+		}
+	} else {
+		for i, k := range goal.Args {
+			va[i] = b.Var(fmt.Sprintf("v_a%d", i), ctx.SortOf(k))
+		}
+	}
+
+	patRes, patPre, patMemOK := p.Semantics(ctx, e.ops, va)
+	geff := goal.Apply(ctx, va, nil)
+	goalPre := geff.Pre
+	if goalPre == nil {
+		goalPre = b.BoolConst(true)
+	}
+
+	var bad []*bv.Term
+	bad = append(bad, b.Not(goalPre)) // (1)
+	for r := range patRes {
+		bad = append(bad, b.Not(eqTerms(b, patRes[r], geff.Results[r]))) // (2)
+	}
+	bad = append(bad, b.Not(patMemOK)) // (3)
+
+	if e.cfg.RequireTotal {
+		// Counterexample: P+ holds and one of (1)-(3) fails, OR the
+		// pattern is undefined somewhere the goal is defined.
+		solver.Assert(b.Or(
+			b.And(patPre, b.Or(bad...)),
+			b.And(goalPre, b.Not(patPre))))
+	} else {
+		solver.Assert(patPre)
+		solver.Assert(b.Or(bad...))
+	}
+
+	res, cerr := solver.Check(e.queryOpts())
+	switch res {
+	case smt.Unsat:
+		return nil, true, nil
+	case smt.Sat:
+		tc := make([]uint64, len(goal.Args))
+		for i := range goal.Args {
+			tc[i] = solver.ModelValue(fmt.Sprintf("v_a%d", i), va[i].Sort)
+		}
+		return tc, false, nil
+	}
+	if cerr != nil {
+		return nil, false, fmt.Errorf("cegis: verification gave up on %s: %w", goal.Name, cerr)
+	}
+	return nil, false, fmt.Errorf("cegis: verification unknown for %s", goal.Name)
+}
+
+// CEGISAllPatterns runs the §5.3 loop over one component multiset:
+// repeated CEGIS with exclusion clauses until the synthesis query is
+// unsatisfiable, returning every pattern over exactly this multiset
+// that implements the goal (capped at MaxPatternsPerGoal).
+func (e *Engine) CEGISAllPatterns(comps []*sem.Instr, goal *sem.Instr) ([]pattern.Pattern, error) {
+	return e.cegisAllPatterns(comps, goal, e.cfg.MaxPatternsPerGoal)
+}
+
+func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget int) ([]pattern.Pattern, error) {
+	e.Stats.MultisetsTried++
+	en, err := newEnc(e.cfg, goal, comps)
+	if err != nil {
+		var ns errNoSource
+		if errors.As(err, &ns) {
+			return nil, nil // unrealizable multiset: zero patterns
+		}
+		return nil, err
+	}
+	en.addWitness()
+	for _, tc := range e.seedTests(goal) {
+		en.addTestCase(tc)
+	}
+
+	var found []pattern.Pattern
+	seen := make(map[string]bool)
+	for {
+		if e.deadlineExceeded() {
+			return found, ErrDeadline
+		}
+		if budget > 0 && len(found) >= budget {
+			return found, nil
+		}
+		e.Stats.SynthQueries++
+		res, cerr := en.solver.Check(e.queryOpts())
+		if res == smt.Unsat {
+			return found, nil // all patterns over this multiset found
+		}
+		if res != smt.Sat {
+			if e.deadlineExceeded() {
+				return found, ErrDeadline
+			}
+			if errors.Is(cerr, smt.ErrBudget) {
+				// Too hard within the per-query budget: abandon this
+				// multiset, keeping the verified patterns found so far
+				// (the paper's timeout policy; soundness is unaffected
+				// because only verified patterns are ever emitted).
+				e.Stats.QueryTimeouts++
+				return found, nil
+			}
+			return found, fmt.Errorf("cegis: synthesis unknown for %s", goal.Name)
+		}
+		a := en.readAssignment()
+		cand := en.toPattern(a)
+		cex, ok, verr := e.verify(goal, &cand)
+		if verr != nil {
+			if e.deadlineExceeded() {
+				return found, ErrDeadline
+			}
+			if errors.Is(verr, smt.ErrBudget) {
+				e.Stats.QueryTimeouts++
+				return found, nil
+			}
+			return found, verr
+		}
+		if !ok {
+			e.Stats.Counterexamples++
+			en.addTestCase(cex)
+			continue
+		}
+		en.exclude(a)
+		key := cand.Canon()
+		if !seen[key] {
+			seen[key] = true
+			found = append(found, cand)
+			e.Stats.Patterns++
+		}
+	}
+}
+
+// Result is the outcome of synthesizing one goal.
+type Result struct {
+	Goal     *sem.Instr
+	Patterns []pattern.Pattern
+	// MinLen is the minimal pattern size found (ℓ of the iteration
+	// that produced results).
+	MinLen int
+	// Elapsed is the wall-clock synthesis time for this goal.
+	Elapsed time.Duration
+}
+
+// Synthesize runs iterative CEGIS (Algorithm 2) for one goal: it
+// enumerates ℓ-multicombinations of the operation set for increasing ℓ
+// and returns all patterns of minimal size.
+func (e *Engine) Synthesize(goal *sem.Instr) (*Result, error) {
+	start := time.Now()
+	res := &Result{Goal: goal}
+
+	required := e.requiredMemOps(goal)
+
+	for l := 0; l <= e.cfg.MaxLen; l++ {
+		if e.deadlineExceeded() {
+			return res, ErrDeadline
+		}
+		free := l - len(required)
+		if free < 0 {
+			continue
+		}
+		perLevel, err := e.synthesizeLevel(goal, required, free, e.cfg.MaxPatternsPerGoal)
+		if err != nil {
+			res.Patterns = append(res.Patterns, perLevel...)
+			if len(perLevel) > 0 {
+				res.MinLen = l
+			}
+			res.Elapsed = time.Since(start)
+			return res, err
+		}
+		if len(perLevel) > 0 {
+			res.Patterns = perLevel
+			res.MinLen = l
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// SynthesizeAllSizes is like Synthesize but keeps enumerating larger
+// multisets up to MaxLen instead of stopping at the minimal size,
+// aggregating every pattern found (the "full setup" behaviour).
+func (e *Engine) SynthesizeAllSizes(goal *sem.Instr) (*Result, error) {
+	start := time.Now()
+	res := &Result{Goal: goal, MinLen: -1}
+	required := e.requiredMemOps(goal)
+	for l := 0; l <= e.cfg.MaxLen; l++ {
+		if e.deadlineExceeded() {
+			res.Elapsed = time.Since(start)
+			return res, ErrDeadline
+		}
+		free := l - len(required)
+		if free < 0 {
+			continue
+		}
+		rem := 0
+		if e.cfg.MaxPatternsPerGoal > 0 {
+			rem = e.cfg.MaxPatternsPerGoal - len(res.Patterns)
+			if rem <= 0 {
+				break
+			}
+		}
+		perLevel, err := e.synthesizeLevel(goal, required, free, rem)
+		res.Patterns = append(res.Patterns, perLevel...)
+		if len(perLevel) > 0 && res.MinLen < 0 {
+			res.MinLen = l
+		}
+		if err != nil {
+			res.Elapsed = time.Since(start)
+			return res, err
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// synthesizeLevel runs CEGISAllPatterns over every multiset formed by
+// the required ops plus a free ℓ-multicombination of the op set,
+// stopping once the remaining per-goal pattern budget is exhausted
+// (budget ≤ 0 means unlimited).
+func (e *Engine) synthesizeLevel(goal *sem.Instr, required []*sem.Instr, free, budget int) ([]pattern.Pattern, error) {
+	var out []pattern.Pattern
+	iter := newMulticombinations(len(e.ops), free)
+	for iter.next() {
+		if e.deadlineExceeded() {
+			return out, ErrDeadline
+		}
+		rem := 0
+		if budget > 0 {
+			rem = budget - len(out)
+			if rem <= 0 {
+				return out, nil
+			}
+		}
+		comps := append([]*sem.Instr{}, required...)
+		for _, idx := range iter.current() {
+			comps = append(comps, e.ops[idx])
+		}
+		if !e.cfg.DisablePruning && e.skipMultiset(goal, comps) {
+			continue
+		}
+		if m := e.cfg.MaxPatternsPerMultiset; m > 0 && (rem == 0 || m < rem) {
+			rem = m
+		}
+		ps, err := e.cegisAllPatterns(comps, goal, rem)
+		out = append(out, ps...)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// requiredMemOps implements the §5.4 refinement: decide by SMT query
+// whether the goal must contain load and/or store operations, and
+// return those operations (from the engine's op set) as fixed multiset
+// members.
+func (e *Engine) requiredMemOps(goal *sem.Instr) []*sem.Instr {
+	if !goal.AccessesMemory() {
+		return nil
+	}
+	needLoad, needStore := e.AnalyzeMemoryNeeds(goal)
+	var req []*sem.Instr
+	if needLoad {
+		if op := opByName(e.ops, "Load"); op != nil {
+			req = append(req, op)
+		}
+	}
+	if needStore {
+		if op := opByName(e.ops, "Store"); op != nil {
+			req = append(req, op)
+		}
+	}
+	return req
+}
+
+func opByName(ops []*sem.Instr, name string) *sem.Instr {
+	for _, o := range ops {
+		if o.Name == name {
+			return o
+		}
+	}
+	return nil
+}
+
+// AnalyzeMemoryNeeds decides whether the goal requires a load and/or a
+// store in any implementing pattern, by checking satisfiability of
+// "output M-value differs from input M-value" restricted to access
+// flags (→ load) and to memory contents (→ store), per §5.4.
+func (e *Engine) AnalyzeMemoryNeeds(goal *sem.Instr) (needLoad, needStore bool) {
+	memArg, memRes := -1, -1
+	for i, k := range goal.Args {
+		if k == sem.KindMem {
+			memArg = i
+			break
+		}
+	}
+	for i, k := range goal.Results {
+		if k == sem.KindMem {
+			memRes = i
+			break
+		}
+	}
+	if memArg < 0 || memRes < 0 {
+		return false, false
+	}
+
+	check := func(flags bool) bool {
+		b := bv.NewBuilder()
+		solver := smt.NewSolver(b)
+		ctx := &sem.Ctx{B: b, Width: e.cfg.Width}
+		va := make([]*bv.Term, len(goal.Args))
+		for i, k := range goal.Args {
+			if k != sem.KindMem {
+				va[i] = b.Var(fmt.Sprintf("m_a%d", i), ctx.SortOf(k))
+			}
+		}
+		ptrs := memmodel.PtrsFor(b, e.cfg.Width, goal, va, nil)
+		model := memmodel.New(b, e.cfg.Width, ptrs)
+		ctx.Mem = model
+		va[memArg] = b.Var(fmt.Sprintf("m_a%d", memArg), model.Sort())
+		geff := goal.Apply(ctx, va, nil)
+		mIn, mOut := va[memArg], geff.Results[memRes]
+		var diff *bv.Term = b.BoolConst(false)
+		for i := 0; i < model.NumPtrs(); i++ {
+			if flags {
+				diff = b.Or(diff, b.Not(b.Eq(model.Flag(mIn, i), model.Flag(mOut, i))))
+			} else {
+				diff = b.Or(diff, b.Not(b.Eq(model.Contents(mIn, i), model.Contents(mOut, i))))
+			}
+		}
+		solver.Assert(diff)
+		res, _ := solver.Check(e.queryOpts())
+		return res == smt.Sat
+	}
+	return check(true), check(false)
+}
+
+// skipMultiset applies the two §5.4 skip criteria; it returns true when
+// the multiset provably cannot yield a valid pattern.
+func (e *Engine) skipMultiset(goal *sem.Instr, comps []*sem.Instr) bool {
+	// Criterion 2 (sources): every consumed kind needs a source — a
+	// pattern argument of that kind, or a component producing it
+	// without consuming it.
+	kinds := []sem.Kind{sem.KindValue, sem.KindBool, sem.KindMem}
+	for _, kind := range kinds {
+		consumed := false
+		for _, c := range comps {
+			for _, a := range c.Args {
+				if a.Compatible(kind) && kind.Compatible(a) {
+					consumed = true
+				}
+			}
+		}
+		if !consumed {
+			continue
+		}
+		hasSource := false
+		for _, a := range goal.Args {
+			if a.Compatible(kind) {
+				hasSource = true
+			}
+		}
+		for _, c := range comps {
+			takes := false
+			for _, a := range c.Args {
+				if a.Compatible(kind) {
+					takes = true
+				}
+			}
+			if takes {
+				continue
+			}
+			for _, r := range c.Results {
+				if r.Compatible(kind) {
+					hasSource = true
+				}
+			}
+		}
+		if !hasSource {
+			e.Stats.SkippedNoSource++
+			return true
+		}
+	}
+
+	// Criterion 1 (consumers): if n components produce exactly one
+	// result of kind S, but fewer than n consumers of S exist, some
+	// result must go unused — the pattern would have been found at a
+	// smaller ℓ.
+	for _, kind := range kinds {
+		producers := 0
+		for _, c := range comps {
+			if len(c.Results) == 1 && c.Results[0].Compatible(kind) && kind.Compatible(c.Results[0]) {
+				producers++
+			}
+		}
+		if producers == 0 {
+			continue
+		}
+		consumers := 0
+		for _, c := range comps {
+			for _, a := range c.Args {
+				if a.Compatible(kind) && kind.Compatible(a) {
+					consumers++
+				}
+			}
+		}
+		for _, r := range goal.Results {
+			if r.Compatible(kind) && kind.Compatible(r) {
+				consumers++
+			}
+		}
+		if consumers < producers {
+			e.Stats.SkippedConsumers++
+			return true
+		}
+	}
+
+	// Result sourcing: each goal result kind needs a producer among the
+	// pattern arguments or component results (criterion 2 applied to
+	// the pattern's outputs; e.g. a Bool-producing goal needs a Cmp).
+	for _, kind := range kinds {
+		wanted := false
+		for _, r := range goal.Results {
+			if r.Compatible(kind) && kind.Compatible(r) {
+				wanted = true
+			}
+		}
+		if !wanted {
+			continue
+		}
+		has := false
+		for _, a := range goal.Args {
+			if a.Compatible(kind) {
+				has = true
+			}
+		}
+		for _, c := range comps {
+			for _, r := range c.Results {
+				if r.Compatible(kind) {
+					has = true
+				}
+			}
+		}
+		if !has {
+			e.Stats.SkippedNoSource++
+			return true
+		}
+	}
+
+	// Memory-specific: a goal without memory access cannot use memory
+	// operations (subsumed by the source criterion via KindMem, but
+	// counted separately for reporting, §5.4).
+	if !goal.AccessesMemory() {
+		for _, c := range comps {
+			if c.AccessesMemory() {
+				e.Stats.SkippedNoMemOps++
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package cegis
+
+import (
+	"math"
+	"math/big"
+)
+
+// multicombinations enumerates all multisets of size k over n elements
+// as non-decreasing index sequences (Knuth, TAOCP 7.2.1.3). k = 0
+// yields exactly one empty combination.
+type multicombinations struct {
+	n, k    int
+	idx     []int
+	started bool
+	done    bool
+}
+
+func newMulticombinations(n, k int) *multicombinations {
+	return &multicombinations{n: n, k: k}
+}
+
+// next advances to the next combination; it returns false when the
+// enumeration is exhausted.
+func (m *multicombinations) next() bool {
+	if m.done {
+		return false
+	}
+	if !m.started {
+		m.started = true
+		if m.k == 0 {
+			m.done = true
+			return true // the single empty multiset
+		}
+		if m.n == 0 {
+			m.done = true
+			return false
+		}
+		m.idx = make([]int, m.k)
+		return true
+	}
+	// Find the rightmost index that can still be incremented.
+	i := m.k - 1
+	for i >= 0 && m.idx[i] == m.n-1 {
+		i--
+	}
+	if i < 0 {
+		m.done = true
+		return false
+	}
+	v := m.idx[i] + 1
+	for ; i < m.k; i++ {
+		m.idx[i] = v
+	}
+	return true
+}
+
+// current returns the current index multiset (do not modify).
+func (m *multicombinations) current() []int { return m.idx }
+
+// Multichoose returns the number of k-multicombinations of n elements,
+// C(n+k-1, k).
+func Multichoose(n, k int) *big.Int {
+	if k == 0 {
+		return big.NewInt(1)
+	}
+	return new(big.Int).Binomial(int64(n+k-1), int64(k))
+}
+
+// ClassicalSearchSpace estimates the arrangement count of classical
+// CEGIS over a component pool of size n: n! (§5.4).
+func ClassicalSearchSpace(n int) *big.Int {
+	return new(big.Int).MulRange(1, int64(n))
+}
+
+// IterativeSearchSpace estimates the total arrangement count of
+// iterative CEGIS up to ℓmax: Σ_ℓ multichoose(n, ℓ) · ℓ! (§5.4).
+func IterativeSearchSpace(n, lmax int) *big.Int {
+	total := big.NewInt(0)
+	for l := 1; l <= lmax; l++ {
+		term := Multichoose(n, l)
+		term.Mul(term, new(big.Int).MulRange(1, int64(l)))
+		total.Add(total, term)
+	}
+	return total
+}
+
+// Log2 returns the base-2 logarithm of a big integer (for reporting the
+// paper's ≈2^65 vs ≈2^32 comparison).
+func Log2(x *big.Int) float64 {
+	f := new(big.Float).SetInt(x)
+	v, _ := f.Float64()
+	if !math.IsInf(v, 0) {
+		return math.Log2(v)
+	}
+	// Fall back to bit length for huge values.
+	return float64(x.BitLen() - 1)
+}

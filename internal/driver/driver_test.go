@@ -1,0 +1,81 @@
+package driver
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBasicSetupSynthesis(t *testing.T) {
+	lib, rep, err := Run(BasicSetup(), Options{Width: 8, Seed: 1,
+		MaxPatternsPerGoal: 16, PerGoalTimeout: 5 * time.Minute})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rep.Groups) != 1 || rep.Groups[0].Name != "Basic" {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.Total.Goals < 20 {
+		t.Fatalf("basic setup goals: %d", rep.Total.Goals)
+	}
+	if len(lib.Rules) < rep.Total.Goals {
+		t.Fatalf("expected at least one rule per goal: %d rules for %d goals",
+			len(lib.Rules), rep.Total.Goals)
+	}
+	// Every basic goal must have at least one pattern.
+	byGoal := map[string]int{}
+	for _, r := range lib.Rules {
+		byGoal[r.Goal]++
+	}
+	for _, g := range BasicSetup()[0].Goals {
+		if byGoal[g.Name] == 0 {
+			t.Errorf("goal %s has no patterns", g.Name)
+		}
+	}
+	var buf bytes.Buffer
+	rep.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "Basic") || !strings.Contains(buf.String(), "Total") {
+		t.Fatalf("table rendering:\n%s", buf.String())
+	}
+}
+
+func TestBMISetupSynthesis(t *testing.T) {
+	lib, rep, err := Run(BMISetup(), Options{Width: 8, Seed: 1,
+		MaxPatternsPerGoal: 16, PerGoalTimeout: 90 * time.Second})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Total.Goals != 7 {
+		t.Fatalf("BMI goals: %d", rep.Total.Goals)
+	}
+	byGoal := map[string]int{}
+	for _, r := range lib.Rules {
+		byGoal[r.Goal]++
+	}
+	for _, g := range []string{"andn", "blsi", "blsmsk", "blsr", "btc", "btr", "bts"} {
+		if byGoal[g] == 0 {
+			t.Errorf("BMI goal %s has no patterns", g)
+		}
+	}
+	// andn has (at least) the four §1 intro patterns.
+	if byGoal["andn"] < 4 {
+		t.Errorf("andn should have >= 4 patterns, got %d", byGoal["andn"])
+	}
+}
+
+func TestSetupShapes(t *testing.T) {
+	full := FullSetup()
+	names := map[string]bool{}
+	for _, g := range full {
+		names[g.Name] = true
+		if len(g.Goals) == 0 {
+			t.Fatalf("group %s empty", g.Name)
+		}
+	}
+	for _, want := range []string{"Basic", "Load/Store", "Unary", "Binary", "Flags", "BMI"} {
+		if !names[want] {
+			t.Fatalf("full setup missing group %s", want)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package driver
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParallelMatchesSequential checks the §3 aggregation property:
+// running goal syntheses concurrently yields the same library as the
+// sequential run (merging is in goal order).
+func TestParallelMatchesSequential(t *testing.T) {
+	opts := Options{Width: 8, Seed: 1, MaxPatternsPerGoal: 8,
+		PerGoalTimeout: 90 * time.Second}
+	seqLib, _, err := Run(BMISetup(), opts)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	opts.Parallel = 4
+	parLib, _, err := Run(BMISetup(), opts)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if len(seqLib.Rules) != len(parLib.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(seqLib.Rules), len(parLib.Rules))
+	}
+	for i := range seqLib.Rules {
+		if seqLib.Rules[i].Goal != parLib.Rules[i].Goal ||
+			seqLib.Rules[i].Pattern.Canon() != parLib.Rules[i].Pattern.Canon() {
+			t.Fatalf("rule %d differs: %s vs %s", i,
+				seqLib.Rules[i].Pattern.Canon(), parLib.Rules[i].Pattern.Canon())
+		}
+	}
+}

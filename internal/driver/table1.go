@@ -1,0 +1,137 @@
+package driver
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"selgen/internal/ir"
+	"selgen/internal/isel"
+	"selgen/internal/pattern"
+	"selgen/internal/spec"
+	"selgen/internal/x86"
+)
+
+// Table1Row is one benchmark line of the paper's Table 1.
+type Table1Row struct {
+	Benchmark string
+	// Coverage is the full-library coverage ratio (§7.3).
+	Coverage float64
+	// Basic, Full, Handwritten are simulated runtimes (cycle units).
+	Basic, Full, Handwritten float64
+	// BasicRatio, FullRatio are Basic/Handwritten and Full/Handwritten.
+	BasicRatio, FullRatio float64
+}
+
+// Table1 is the whole experiment result.
+type Table1 struct {
+	Rows []Table1Row
+	// GeoMeanCoverage, GeoMeanBasic, GeoMeanFull are the geometric
+	// means of the last three columns.
+	GeoMeanCoverage, GeoMeanBasic, GeoMeanFull float64
+	// CompileBasic and CompileFull are instruction-selection times
+	// relative to the handwritten selector (the paper reports 1.66×
+	// for basic and 1217–1804× for its 60 000-rule full setup, §7.3).
+	CompileBasic, CompileFull float64
+}
+
+// RunTable1 compiles every synthetic CINT2000 benchmark with the
+// handwritten selector and with prototype selectors generated from the
+// basic and full libraries, executes the selected code in the
+// cycle-cost simulator, verifies all three agree with the IR semantics,
+// and tallies runtimes.
+func RunTable1(width int, seed int64, basicLib, fullLib *pattern.Library) (*Table1, error) {
+	goals := x86.Registry()
+	ops := ir.Ops()
+
+	type selEntry struct {
+		name string
+		sel  *isel.Selector
+	}
+	mkSel := func(lib *pattern.Library) *isel.Selector {
+		cp := &pattern.Library{Width: lib.Width, Rules: append([]pattern.Rule{}, lib.Rules...)}
+		return isel.New(cp, goals, true)
+	}
+
+	t := &Table1{}
+	sumLogCov, sumLogBasic, sumLogFull := 0.0, 0.0, 0.0
+	selTime := map[string]time.Duration{}
+	for _, prof := range spec.Profiles() {
+		sels := []selEntry{
+			{"basic", mkSel(basicLib)},
+			{"full", mkSel(fullLib)},
+			{"hand", isel.New(isel.HandwrittenLibrary(width), goals, true)},
+		}
+		graphs := spec.Generate(prof, width, ops, seed)
+		cycles := map[string]float64{}
+		var fullCov isel.Coverage
+		for _, g := range graphs {
+			params, mems := spec.Inputs(g, seed, 1)
+			ref, err := g.Exec(params[0], mems[0])
+			if err != nil {
+				return nil, fmt.Errorf("driver: %s: IR execution: %w", g.Name, err)
+			}
+			for _, se := range sels {
+				selStart := time.Now()
+				prog, cov, err := se.sel.Select(g)
+				selTime[se.name] += time.Since(selStart)
+				if err != nil {
+					return nil, fmt.Errorf("driver: %s with %s: %w", g.Name, se.name, err)
+				}
+				if se.name == "full" {
+					fullCov.Add(cov)
+				}
+				got, err := prog.Exec(params[0], mems[0])
+				if err != nil {
+					return nil, fmt.Errorf("driver: %s with %s: execution: %w", g.Name, se.name, err)
+				}
+				for i := range ref.Values {
+					if ref.Values[i] != got.Values[i] {
+						return nil, fmt.Errorf("driver: %s with %s: result %d differs (%#x vs %#x)",
+							g.Name, se.name, i, ref.Values[i], got.Values[i])
+					}
+				}
+				cycles[se.name] += float64(prog.Cycles() * prof.Reps)
+			}
+		}
+		row := Table1Row{
+			Benchmark:   prof.Name,
+			Coverage:    fullCov.Ratio(),
+			Basic:       cycles["basic"],
+			Full:        cycles["full"],
+			Handwritten: cycles["hand"],
+		}
+		row.BasicRatio = row.Basic / row.Handwritten
+		row.FullRatio = row.Full / row.Handwritten
+		t.Rows = append(t.Rows, row)
+		sumLogCov += math.Log(row.Coverage)
+		sumLogBasic += math.Log(row.BasicRatio)
+		sumLogFull += math.Log(row.FullRatio)
+	}
+	n := float64(len(t.Rows))
+	t.GeoMeanCoverage = math.Exp(sumLogCov / n)
+	t.GeoMeanBasic = math.Exp(sumLogBasic / n)
+	t.GeoMeanFull = math.Exp(sumLogFull / n)
+	if hand := selTime["hand"]; hand > 0 {
+		t.CompileBasic = float64(selTime["basic"]) / float64(hand)
+		t.CompileFull = float64(selTime["full"]) / float64(hand)
+	}
+	return t, nil
+}
+
+// Write renders the table in the paper's layout (runtimes in simulated
+// kilocycles).
+func (t *Table1) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %9s %12s %12s %12s %10s %10s\n",
+		"Benchmark", "Coverage", "Basic", "Full", "Handwritten", "Basic/Hand", "Full/Hand")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-14s %8.2f%% %11.0fk %11.0fk %11.0fk %9.2f%% %9.2f%%\n",
+			r.Benchmark, 100*r.Coverage, r.Basic/1000, r.Full/1000, r.Handwritten/1000,
+			100*r.BasicRatio, 100*r.FullRatio)
+	}
+	fmt.Fprintf(w, "%-14s %8.2f%% %12s %12s %12s %9.2f%% %9.2f%%\n",
+		"Geom. Mean", 100*t.GeoMeanCoverage, "", "", "", 100*t.GeoMeanBasic, 100*t.GeoMeanFull)
+	fmt.Fprintf(w, "selection time vs handwritten: basic %.2fx, full %.2fx\n",
+		t.CompileBasic, t.CompileFull)
+}

@@ -1,0 +1,107 @@
+package firm
+
+import (
+	"fmt"
+
+	"selgen/internal/bv"
+	"selgen/internal/ir"
+	"selgen/internal/sem"
+)
+
+// ExecResult is the outcome of interpreting a graph.
+type ExecResult struct {
+	// Values holds the concrete value of each Return ref (M-value
+	// results report 0; inspect Mem for memory effects).
+	Values []uint64
+	// Mem is the final memory contents.
+	Mem map[uint64]uint64
+}
+
+// Exec interprets the graph on concrete parameter values and an initial
+// memory image, using the IR operations' own semantic models (via
+// sem.ConcreteMem), so the interpreter cannot diverge from the
+// semantics the synthesizer saw.
+func (g *Graph) Exec(params []uint64, mem map[uint64]uint64) (*ExecResult, error) {
+	if len(params) != len(g.params) {
+		return nil, fmt.Errorf("firm: %s takes %d params, got %d", g.Name, len(g.params), len(params))
+	}
+	b := bv.NewBuilder()
+	cm := sem.NewConcreteMem(b, g.Width)
+	for a, v := range mem {
+		cm.Cells[a] = v & bv.Mask(g.Width)
+	}
+	ctx := &sem.Ctx{B: b, Width: g.Width, Mem: cm}
+	memTok := b.Const(0, 1) // placeholder M-value token
+
+	vals := make(map[*Node][]*bv.Term)
+	for _, n := range g.nodes {
+		switch {
+		case n.IsParam():
+			idx := n.Internals[0]
+			var t *bv.Term
+			switch g.paramKinds[idx] {
+			case sem.KindBool:
+				t = b.BoolConst(params[idx]&1 == 1)
+			case sem.KindMem:
+				t = memTok
+			default:
+				t = b.Const(params[idx], g.Width)
+			}
+			vals[n] = []*bv.Term{t}
+		case n.IsInitialMem():
+			vals[n] = []*bv.Term{memTok}
+		default:
+			op := ir.ByName(g.ops, n.Op)
+			args := make([]*bv.Term, len(n.Args))
+			for i, a := range n.Args {
+				// Pick the argument's producing result by kind.
+				want := op.Args[i]
+				picked := -1
+				for r := 0; r < a.NumResults(); r++ {
+					if a.ResultKind(r).Compatible(want) {
+						picked = r
+						break
+					}
+				}
+				if picked < 0 {
+					return nil, fmt.Errorf("firm: %s: v%d arg %d unresolvable", g.Name, n.ID, i)
+				}
+				args[i] = vals[a][picked]
+			}
+			ints := make([]*bv.Term, len(n.Internals))
+			for i, v := range n.Internals {
+				ints[i] = b.Const(v, g.Width)
+			}
+			eff := op.Apply(ctx, args, ints)
+			if eff.Pre != nil && bv.Eval(eff.Pre, nil) != 1 {
+				return nil, fmt.Errorf("firm: %s: v%d (%s) violates its precondition (undefined behaviour)", g.Name, n.ID, n.Op)
+			}
+			vals[n] = eff.Results
+		}
+	}
+
+	res := &ExecResult{Mem: cm.Cells}
+	for _, r := range g.Returns {
+		t := vals[r.Node][r.Result]
+		if t.Sort == cm.Sort() {
+			res.Values = append(res.Values, 0)
+		} else {
+			res.Values = append(res.Values, bv.Eval(t, nil))
+		}
+	}
+	return res, nil
+}
+
+// argResult resolves which result index of arg feeds slot i of node n
+// (used by the instruction selectors to interpret dataflow edges).
+func ArgResult(ops []*sem.Instr, n *Node, i int) int {
+	op := ir.ByName(ops, n.Op)
+	want := op.Args[i]
+	a := n.Args[i]
+	for r := 0; r < a.NumResults(); r++ {
+		if a.ResultKind(r).Compatible(want) {
+			return r
+		}
+	}
+	panic(fmt.Sprintf("firm: v%d arg %d unresolvable", n.ID, i))
+}

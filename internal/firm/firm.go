@@ -1,0 +1,248 @@
+// Package firm is a small SSA graph IR in the style of libFirm, the
+// research compiler the reproduced paper evaluates in (§7.1): a
+// function body is a data-dependence DAG over the IR operations of
+// internal/ir, with memory threaded through an M-value chain. It is the
+// input language of the instruction selectors in internal/isel and the
+// substrate for the SPEC-like workloads in internal/spec.
+package firm
+
+import (
+	"fmt"
+
+	"selgen/internal/bv"
+	"selgen/internal/ir"
+	"selgen/internal/sem"
+)
+
+// Node is one SSA value (or M-value) in a graph. Op is either an IR
+// operation name from internal/ir, or one of the pseudo-ops "Param"
+// (function argument; Internals[0] is its index) and "InitialMem" (the
+// incoming memory state).
+type Node struct {
+	ID        int
+	Op        string
+	Args      []*Node
+	Internals []uint64
+
+	graph *Graph
+}
+
+// IsParam reports whether the node is a function parameter.
+func (n *Node) IsParam() bool { return n.Op == "Param" }
+
+// IsInitialMem reports whether the node is the incoming memory state.
+func (n *Node) IsInitialMem() bool { return n.Op == "InitialMem" }
+
+// IsPseudo reports whether the node is a pseudo-op (not a real IR
+// operation that instruction selection must translate).
+func (n *Node) IsPseudo() bool { return n.IsParam() || n.IsInitialMem() }
+
+// NumResults returns how many results the node produces (pseudo-ops
+// produce one).
+func (n *Node) NumResults() int {
+	if n.IsPseudo() {
+		return 1
+	}
+	op := ir.ByName(n.graph.ops, n.Op)
+	if op == nil {
+		panic(fmt.Sprintf("firm: unknown op %q", n.Op))
+	}
+	return len(op.Results)
+}
+
+// ResultKind returns the kind of result r.
+func (n *Node) ResultKind(r int) sem.Kind {
+	switch {
+	case n.IsParam():
+		return n.graph.paramKinds[n.Internals[0]]
+	case n.IsInitialMem():
+		return sem.KindMem
+	}
+	op := ir.ByName(n.graph.ops, n.Op)
+	return op.Results[r]
+}
+
+func (n *Node) String() string {
+	s := fmt.Sprintf("v%d = %s", n.ID, n.Op)
+	for _, a := range n.Args {
+		s += fmt.Sprintf(" v%d", a.ID)
+	}
+	for _, iv := range n.Internals {
+		s += fmt.Sprintf(" [%d]", iv)
+	}
+	return s
+}
+
+// Ref identifies one result of a node (most nodes have one result;
+// Load has an M result and a value result).
+type Ref struct {
+	Node   *Node
+	Result int
+}
+
+// Graph is one function body: a DAG of nodes with designated parameter
+// nodes, an optional memory chain, and return roots.
+type Graph struct {
+	Name  string
+	Width int
+
+	nodes      []*Node
+	params     []*Node
+	paramKinds []sem.Kind
+	initialMem *Node
+
+	// Returns are the live roots (returned values and/or final memory).
+	Returns []Ref
+
+	ops []*sem.Instr
+}
+
+// NewGraph returns an empty graph over the given IR operation set.
+func NewGraph(name string, width int, ops []*sem.Instr) *Graph {
+	return &Graph{Name: name, Width: width, ops: ops}
+}
+
+// Ops returns the IR operation set the graph is built over.
+func (g *Graph) Ops() []*sem.Instr { return g.ops }
+
+// Nodes returns all nodes in creation (topological) order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Params returns the parameter nodes in index order.
+func (g *Graph) Params() []*Node { return g.params }
+
+func (g *Graph) add(n *Node) *Node {
+	n.ID = len(g.nodes)
+	n.graph = g
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Param appends a function parameter of the given kind.
+func (g *Graph) Param(kind sem.Kind) *Node {
+	n := g.add(&Node{Op: "Param", Internals: []uint64{uint64(len(g.params))}})
+	g.params = append(g.params, n)
+	g.paramKinds = append(g.paramKinds, kind)
+	return n
+}
+
+// InitialMem returns (creating on first use) the incoming memory state.
+func (g *Graph) InitialMem() *Node {
+	if g.initialMem == nil {
+		g.initialMem = g.add(&Node{Op: "InitialMem"})
+	}
+	return g.initialMem
+}
+
+// New appends an IR operation node. Argument count must match the
+// operation's interface.
+func (g *Graph) New(op string, args ...*Node) *Node {
+	o := ir.ByName(g.ops, op)
+	if o == nil {
+		panic(fmt.Sprintf("firm: unknown op %q", op))
+	}
+	if len(args) != len(o.Args) {
+		panic(fmt.Sprintf("firm: %s takes %d args, got %d", op, len(o.Args), len(args)))
+	}
+	if len(o.Internals) != 0 {
+		panic(fmt.Sprintf("firm: %s needs internals; use NewI", op))
+	}
+	return g.add(&Node{Op: op, Args: args})
+}
+
+// NewI appends an IR operation node with internal attribute values.
+func (g *Graph) NewI(op string, internals []uint64, args ...*Node) *Node {
+	o := ir.ByName(g.ops, op)
+	if o == nil {
+		panic(fmt.Sprintf("firm: unknown op %q", op))
+	}
+	if len(args) != len(o.Args) || len(internals) != len(o.Internals) {
+		panic(fmt.Sprintf("firm: %s interface mismatch", op))
+	}
+	return g.add(&Node{Op: op, Args: args, Internals: internals})
+}
+
+// Const appends a Const node with the given value.
+func (g *Graph) Const(v uint64) *Node {
+	return g.NewI("Const", []uint64{v & bv.Mask(g.Width)})
+}
+
+// Return marks refs as live roots.
+func (g *Graph) Return(refs ...Ref) {
+	g.Returns = append(g.Returns, refs...)
+}
+
+// Users returns, for each node, the list of nodes using it as an
+// argument. Return roots are not included (check Returns separately).
+func (g *Graph) Users() map[*Node][]*Node {
+	out := make(map[*Node][]*Node)
+	for _, n := range g.nodes {
+		for _, a := range n.Args {
+			out[a] = append(out[a], n)
+		}
+	}
+	return out
+}
+
+// Verify checks structural invariants: acyclicity by construction
+// (args precede uses), argument kinds, and that Returns reference valid
+// results.
+func (g *Graph) Verify() error {
+	for _, n := range g.nodes {
+		if n.IsPseudo() {
+			continue
+		}
+		op := ir.ByName(g.ops, n.Op)
+		if op == nil {
+			return fmt.Errorf("firm: %s: unknown op %q", g.Name, n.Op)
+		}
+		for i, a := range n.Args {
+			if a.ID >= n.ID {
+				return fmt.Errorf("firm: %s: v%d uses later node v%d", g.Name, n.ID, a.ID)
+			}
+			// The producing result is result 0 unless the arg kind only
+			// matches a later result; resolve kind loosely: some result
+			// of a must be compatible with the arg slot.
+			okKind := false
+			for r := 0; r < a.NumResults(); r++ {
+				if a.ResultKind(r).Compatible(op.Args[i]) {
+					okKind = true
+				}
+			}
+			if !okKind {
+				return fmt.Errorf("firm: %s: v%d arg %d kind mismatch (%s)", g.Name, n.ID, i, a.Op)
+			}
+		}
+	}
+	for _, r := range g.Returns {
+		if r.Node == nil || r.Result >= r.Node.NumResults() {
+			return fmt.Errorf("firm: %s: bad return ref", g.Name)
+		}
+	}
+	return nil
+}
+
+// NumRealNodes counts the non-pseudo nodes (the denominator of the
+// coverage metric in §7.3).
+func (g *Graph) NumRealNodes() int {
+	c := 0
+	for _, n := range g.nodes {
+		if !n.IsPseudo() {
+			c++
+		}
+	}
+	return c
+}
+
+// String renders the graph.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("graph %s {\n", g.Name)
+	for _, n := range g.nodes {
+		s += "  " + n.String() + "\n"
+	}
+	s += "  return"
+	for _, r := range g.Returns {
+		s += fmt.Sprintf(" v%d.%d", r.Node.ID, r.Result)
+	}
+	return s + "\n}"
+}

@@ -1,0 +1,56 @@
+package isel
+
+import (
+	"testing"
+
+	"selgen/internal/ir"
+	"selgen/internal/spec"
+	"selgen/internal/x86"
+)
+
+// BenchmarkSelectWorkload measures greedy selection throughput with the
+// handwritten library over one synthetic benchmark's graphs.
+func BenchmarkSelectWorkload(b *testing.B) {
+	goals := x86.Registry()
+	prof, err := spec.ProfileByName("164.gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphs := spec.Generate(prof, 8, ir.Ops(), 7)
+	sel := New(HandwrittenLibrary(8), goals, true)
+	// Warm the expanded, sorted library.
+	if _, _, err := sel.Select(graphs[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	nodes := 0
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			if _, cov, err := sel.Select(g); err != nil {
+				b.Fatal(err)
+			} else {
+				nodes += cov.Total
+			}
+		}
+	}
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+}
+
+// BenchmarkExecuteSelected measures the cycle simulator.
+func BenchmarkExecuteSelected(b *testing.B) {
+	goals := x86.Registry()
+	prof, _ := spec.ProfileByName("181.mcf")
+	graphs := spec.Generate(prof, 8, ir.Ops(), 7)
+	sel := New(HandwrittenLibrary(8), goals, true)
+	prog, _, err := sel.Select(graphs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	params, mems := spec.Inputs(graphs[0], 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Exec(params[0], mems[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package isel
+
+import (
+	"selgen/internal/bv"
+	"selgen/internal/ir"
+	"selgen/internal/pattern"
+	"selgen/internal/sem"
+)
+
+// pb is a small builder for hand-authored patterns.
+type pb struct {
+	p pattern.Pattern
+}
+
+func newPB(argKinds ...sem.Kind) *pb {
+	return &pb{p: pattern.Pattern{ArgKinds: argKinds}}
+}
+
+func arg(i int) pattern.ValueRef { return pattern.ValueRef{Kind: pattern.RefArg, Index: i} }
+
+// node appends an operation and returns its first result.
+func (b *pb) node(op string, internals []uint64, args ...pattern.ValueRef) pattern.ValueRef {
+	b.p.Nodes = append(b.p.Nodes, pattern.Node{Op: op, Args: args, Internals: internals})
+	return pattern.ValueRef{Kind: pattern.RefNode, Index: len(b.p.Nodes) - 1}
+}
+
+// resultOf selects result r of the node behind ref.
+func resultOf(ref pattern.ValueRef, r int) pattern.ValueRef {
+	return pattern.ValueRef{Kind: pattern.RefNode, Index: ref.Index, Result: r}
+}
+
+func (b *pb) rule(goal string, cost int, results ...pattern.ValueRef) pattern.Rule {
+	b.p.Results = results
+	return pattern.Rule{Goal: goal, GoalCost: cost, Pattern: b.p}
+}
+
+// HandwrittenLibrary builds the hand-tuned rule library standing in for
+// libFirm's handwritten x86 backend (§7.1): canonical single-node
+// rules, immediate forms, lea address arithmetic, fused memory
+// operands, inc/dec, test-against-zero, and the variable-count rotate
+// trick. Its quality target is the paper's "Handwritten" column.
+func HandwrittenLibrary(width int) *pattern.Library {
+	lib := &pattern.Library{Width: width}
+	V, I, M := sem.KindValue, sem.KindImm, sem.KindMem
+
+	// --- fused memory operands (most specific first is handled by the
+	// sort, but keep them early for readability) ---
+	binPairs := []struct{ irOp, goal string }{
+		{"Add", "add"}, {"Sub", "sub"}, {"And", "and"}, {"Or", "or"}, {"Eor", "xor"},
+	}
+	commutative := map[string]bool{"Add": true, "And": true, "Or": true, "Eor": true}
+	for _, bp := range binPairs {
+		// op.ms.b: reg ⊕ [base] — both operand orders for commutative ops.
+		b := newPB(M, V, V)
+		ld := b.node("Load", nil, arg(0), arg(1))
+		sum := b.node(bp.irOp, nil, arg(2), resultOf(ld, 1))
+		lib.Add(b.rule(bp.goal+".ms.b", 2, resultOf(ld, 0), sum))
+		if commutative[bp.irOp] {
+			b = newPB(M, V, V)
+			ld = b.node("Load", nil, arg(0), arg(1))
+			sum = b.node(bp.irOp, nil, resultOf(ld, 1), arg(2))
+			lib.Add(b.rule(bp.goal+".ms.b", 2, resultOf(ld, 0), sum))
+		}
+		// op.md.b: [base] ⊕= reg (load, op, store back to same address).
+		b = newPB(M, V, V)
+		ld = b.node("Load", nil, arg(0), arg(1))
+		val := b.node(bp.irOp, nil, resultOf(ld, 1), arg(2))
+		st := b.node("Store", nil, resultOf(ld, 0), arg(1), val)
+		lib.Add(b.rule(bp.goal+".md.b", 3, st))
+	}
+	// Unary in-place memory ops.
+	for _, up := range []struct{ irOp, goal string }{{"Minus", "neg"}, {"Not", "not"}} {
+		b := newPB(M, V)
+		ld := b.node("Load", nil, arg(0), arg(1))
+		val := b.node(up.irOp, nil, resultOf(ld, 1))
+		st := b.node("Store", nil, resultOf(ld, 0), arg(1), val)
+		lib.Add(b.rule(up.goal+".m.b", 3, st))
+	}
+
+	// --- lea address arithmetic ---
+	for k, name := range map[uint64]string{1: "2", 2: "4", 3: "8"} {
+		// base + (index << k): lea.b+i*s
+		b := newPB(V, V)
+		sh := b.node("Shl", nil, arg(1), b.node("Const", []uint64{k}))
+		sum := b.node("Add", nil, arg(0), sh)
+		lib.Add(b.rule("lea.b+i*"+name, 1, sum))
+		// (index << k) + base (commuted)
+		b = newPB(V, V)
+		sh = b.node("Shl", nil, arg(1), b.node("Const", []uint64{k}))
+		sum = b.node("Add", nil, sh, arg(0))
+		lib.Add(b.rule("lea.b+i*"+name, 1, sum))
+		// base + (index << k) + disp: lea.b+i*s+d
+		b = newPB(V, V, I)
+		sh = b.node("Shl", nil, arg(1), b.node("Const", []uint64{k}))
+		inner := b.node("Add", nil, arg(0), sh)
+		sum = b.node("Add", nil, inner, arg(2))
+		lib.Add(b.rule("lea.b+i*"+name+"+d", 1, sum))
+	}
+	// base + index + disp: lea.b+i*1+d
+	{
+		b := newPB(V, V, I)
+		inner := b.node("Add", nil, arg(0), arg(1))
+		sum := b.node("Add", nil, inner, arg(2))
+		lib.Add(b.rule("lea.b+i*1+d", 1, sum))
+	}
+
+	// --- addressing-mode loads/stores ---
+	// mov.load.b+d / mov.store.b+d: [base + disp]
+	{
+		b := newPB(M, V, I)
+		addr := b.node("Add", nil, arg(1), arg(2))
+		ld := b.node("Load", nil, arg(0), addr)
+		lib.Add(b.rule("mov.load.b+d", 2, resultOf(ld, 0), resultOf(ld, 1)))
+
+		b = newPB(M, V, I, V)
+		addr = b.node("Add", nil, arg(1), arg(2))
+		st := b.node("Store", nil, arg(0), addr, arg(3))
+		lib.Add(b.rule("mov.store.b+d", 2, st))
+	}
+	// mov.load.b+i*s: [base + index*scale]
+	for k, name := range map[uint64]string{1: "2", 2: "4", 3: "8"} {
+		b := newPB(M, V, V)
+		sh := b.node("Shl", nil, arg(2), b.node("Const", []uint64{k}))
+		addr := b.node("Add", nil, arg(1), sh)
+		ld := b.node("Load", nil, arg(0), addr)
+		lib.Add(b.rule("mov.load.b+i*"+name, 2, resultOf(ld, 0), resultOf(ld, 1)))
+	}
+
+	// --- test against zero (the §7.4 majority case) ---
+	for _, tp := range []struct {
+		rel int
+		cc  string
+	}{{ir.RelEq, "e"}, {ir.RelNe, "ne"}, {ir.RelSlt, "s"}, {ir.RelSge, "ns"}} {
+		b := newPB(V, V)
+		and := b.node("And", nil, arg(0), arg(1))
+		cmp := b.node("Cmp", []uint64{uint64(tp.rel)}, and, b.node("Const", []uint64{0}))
+		lib.Add(b.rule("test.j"+tp.cc, 2, cmp))
+	}
+
+	// --- variable-count rotate: or(shl(x,c), shr(x, W-c)) for 0<c<W ---
+	{
+		b := newPB(V, V)
+		shl := b.node("Shl", nil, arg(0), arg(1))
+		wc := b.node("Sub", nil, b.node("Const", []uint64{uint64(width)}), arg(1))
+		shr := b.node("Shr", nil, arg(0), wc)
+		or := b.node("Or", nil, shl, shr)
+		lib.Add(b.rule("rol", 1, or))
+
+		b = newPB(V, V)
+		shr = b.node("Shr", nil, arg(0), arg(1))
+		wc = b.node("Sub", nil, b.node("Const", []uint64{uint64(width)}), arg(1))
+		shl = b.node("Shl", nil, arg(0), wc)
+		or = b.node("Or", nil, shr, shl)
+		lib.Add(b.rule("ror", 1, or))
+	}
+
+	// --- inc/dec ---
+	{
+		b := newPB(V)
+		sum := b.node("Add", nil, arg(0), b.node("Const", []uint64{1}))
+		lib.Add(b.rule("inc", 1, sum))
+		b = newPB(V)
+		sum = b.node("Sub", nil, arg(0), b.node("Const", []uint64{1}))
+		lib.Add(b.rule("dec", 1, sum))
+		b = newPB(V)
+		sum = b.node("Add", nil, arg(0), b.node("Const", []uint64{bv.Mask(width)}))
+		lib.Add(b.rule("dec", 1, sum))
+	}
+
+	// --- immediate forms ---
+	for _, bp := range []struct{ irOp, goal string }{
+		{"Add", "add.imm"}, {"Sub", "sub.imm"}, {"And", "and.imm"},
+		{"Or", "or.imm"}, {"Eor", "xor.imm"},
+	} {
+		b := newPB(V, I)
+		r := b.node(bp.irOp, nil, arg(0), arg(1))
+		lib.Add(b.rule(bp.goal, 1, r))
+		if commutative[bp.irOp] {
+			b = newPB(V, I)
+			r = b.node(bp.irOp, nil, arg(1), arg(0))
+			lib.Add(b.rule(bp.goal, 1, r))
+		}
+	}
+
+	// --- single-node register rules ---
+	for _, bp := range []struct{ irOp, goal string }{
+		{"Add", "add"}, {"Sub", "sub"}, {"Mul", "imul"},
+		{"And", "and"}, {"Or", "or"}, {"Eor", "xor"},
+		{"Shl", "shl"}, {"Shr", "shr"}, {"Shrs", "sar"},
+	} {
+		b := newPB(V, V)
+		r := b.node(bp.irOp, nil, arg(0), arg(1))
+		lib.Add(b.rule(bp.goal, 1, r))
+	}
+	for _, up := range []struct{ irOp, goal string }{
+		{"Minus", "neg"}, {"Not", "not"},
+	} {
+		b := newPB(V)
+		r := b.node(up.irOp, nil, arg(0))
+		lib.Add(b.rule(up.goal, 1, r))
+	}
+	// Load/Store register-indirect.
+	{
+		b := newPB(M, V)
+		ld := b.node("Load", nil, arg(0), arg(1))
+		lib.Add(b.rule("mov.load.b", 2, resultOf(ld, 0), resultOf(ld, 1)))
+		b = newPB(M, V, V)
+		st := b.node("Store", nil, arg(0), arg(1), arg(2))
+		lib.Add(b.rule("mov.store.b", 2, st))
+	}
+	// Compare-and-branch per relation.
+	for rel, cc := range map[int]string{
+		ir.RelEq: "e", ir.RelNe: "ne",
+		ir.RelSlt: "l", ir.RelSle: "le", ir.RelSgt: "g", ir.RelSge: "ge",
+		ir.RelUlt: "b", ir.RelUle: "be", ir.RelUgt: "a", ir.RelUge: "ae",
+	} {
+		b := newPB(V, V)
+		r := b.node("Cmp", []uint64{uint64(rel)}, arg(0), arg(1))
+		lib.Add(b.rule("cmp.j"+cc, 2, r))
+	}
+	// Conditional move.
+	{
+		b := newPB(sem.KindBool, V, V)
+		r := b.node("Mux", nil, arg(0), arg(1), arg(2))
+		lib.Add(b.rule("cmov", 2, r))
+	}
+
+	return lib
+}

@@ -1,0 +1,471 @@
+// Package isel contains the instruction selectors of the paper's §7.3
+// evaluation: a greedy DAG-pattern matcher driven by a rule library
+// (the generated prototype selector, §5.6) with a per-node fallback,
+// plus the hand-tuned baseline library that stands in for libFirm's
+// handwritten x86 backend.
+//
+// Selection is non-overlapping: a rule only matches when the pattern's
+// interior values have no users outside the match, mirroring the
+// prototype selector's restriction discussed in §7.3.
+package isel
+
+import (
+	"fmt"
+
+	"selgen/internal/firm"
+	"selgen/internal/ir"
+	"selgen/internal/mach"
+	"selgen/internal/pattern"
+	"selgen/internal/sem"
+)
+
+// Coverage reports how much of a graph the rule library translated
+// (the §7.3 coverage metric).
+type Coverage struct {
+	// Covered counts IR operations translated by library rules.
+	Covered int
+	// Fallback counts IR operations handled by the per-node fallback.
+	Fallback int
+	// Total counts all real IR operations.
+	Total int
+}
+
+// Ratio returns Covered/Total (1 for empty graphs).
+func (c Coverage) Ratio() float64 {
+	if c.Total == 0 {
+		return 1
+	}
+	return float64(c.Covered) / float64(c.Total)
+}
+
+// Add accumulates another graph's coverage.
+func (c *Coverage) Add(o Coverage) {
+	c.Covered += o.Covered
+	c.Fallback += o.Fallback
+	c.Total += o.Total
+}
+
+// Selector translates firm graphs to machine programs using a rule
+// library and (optionally) a per-node fallback for uncovered nodes.
+type Selector struct {
+	// Lib is the rule library, tried most-specific-first.
+	Lib *pattern.Library
+	// Goals resolves goal names to semantic models.
+	Goals map[string]*sem.Instr
+	// Fallback enables per-node translation of uncovered operations.
+	Fallback bool
+	// RulesTried counts match attempts (compile-time effort metric).
+	RulesTried int64
+
+	sorted bool
+}
+
+// New returns a selector over the given library and goal registry.
+func New(lib *pattern.Library, goals map[string]*sem.Instr, fallback bool) *Selector {
+	return &Selector{Lib: lib, Goals: goals, Fallback: fallback}
+}
+
+// match is one decided rule application.
+type match struct {
+	rule *pattern.Rule
+	// nodeMap maps pattern node index → graph node.
+	nodeMap []*firm.Node
+	// argBind maps pattern argument index → graph ref feeding it.
+	argBind []firm.Ref
+	// imms maps pattern argument index → constant value, for KindImm
+	// arguments bound to Const nodes.
+	imms map[int]uint64
+	// root is the match root node (always the highest-ID match node).
+	root *firm.Node
+}
+
+// decision classifies what happens to each graph node.
+type decision int
+
+const (
+	decDead decision = iota
+	decRoot
+	decInterior
+	decFallback
+)
+
+// Select translates one graph. Without fallback it fails when a live
+// node is uncovered by the rule library.
+func (s *Selector) Select(g *firm.Graph) (*mach.Program, Coverage, error) {
+	if !s.sorted {
+		// The database stores one orientation of each commutative
+		// pattern (§5.5 dedup); the syntactic matcher needs both.
+		s.Lib = s.Lib.ExpandCommutative()
+		s.Lib.SortBySpecificity()
+		s.sorted = true
+	}
+	users := g.Users()
+	retained := make(map[firm.Ref]bool)
+	needed := make(map[*firm.Node]bool)
+	for _, r := range g.Returns {
+		retained[firm.Ref{Node: r.Node, Result: r.Result}] = true
+		needed[r.Node] = true
+	}
+
+	nodes := g.Nodes()
+	dec := make([]decision, len(nodes))
+	rooted := make([]*match, len(nodes))
+
+	needRef := func(r firm.Ref) { needed[r.Node] = true }
+
+	// Decision pass: roots first (reverse topological order). When we
+	// reach a node, every potential consumer has already recorded
+	// whether it needs this node's value.
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		if n.IsPseudo() || dec[n.ID] == decInterior {
+			continue
+		}
+		if !needed[n] {
+			continue // dead
+		}
+		var m *match
+		for ri := range s.Lib.Rules {
+			s.RulesTried++
+			if cand := s.tryMatch(g, &s.Lib.Rules[ri], n, users, retained, dec); cand != nil {
+				m = cand
+				break
+			}
+		}
+		if m != nil {
+			dec[n.ID] = decRoot
+			rooted[n.ID] = m
+			for pi, gn := range m.nodeMap {
+				if gn != n && !isShareable(m.rule.Pattern.Nodes[pi].Op) {
+					dec[gn.ID] = decInterior
+				}
+			}
+			for ai, ref := range m.argBind {
+				if _, isImm := m.imms[ai]; isImm {
+					continue // the constant is encoded in the instruction
+				}
+				if ref.Node != nil {
+					needRef(ref)
+				}
+			}
+			continue
+		}
+		dec[n.ID] = decFallback
+		for ai := range n.Args {
+			// Fallback encodes Const internals directly; other args are
+			// register operands.
+			needRef(firm.Ref{Node: n.Args[ai], Result: firm.ArgResult(g.Ops(), n, ai)})
+		}
+	}
+
+	// Emission pass: leaves first.
+	prog := mach.NewProgram(g.Name, g.Width, len(g.Params()))
+	refVal := make(map[firm.Ref]mach.Value)
+	for i, p := range g.Params() {
+		refVal[firm.Ref{Node: p}] = mach.Value(i)
+	}
+	cov := Coverage{Total: g.NumRealNodes()}
+
+	for _, n := range nodes {
+		switch {
+		case n.IsInitialMem():
+			refVal[firm.Ref{Node: n}] = prog.NewValue()
+		case n.IsPseudo():
+			// Params pre-seeded.
+		case dec[n.ID] == decRoot:
+			m := rooted[n.ID]
+			if err := s.emitMatch(g, prog, m, refVal); err != nil {
+				return nil, cov, err
+			}
+			cov.Covered += matchedRealNodes(m)
+		case dec[n.ID] == decFallback:
+			if !s.Fallback {
+				return nil, cov, fmt.Errorf("isel: %s: no rule matches v%d (%s)", g.Name, n.ID, n.Op)
+			}
+			if err := s.emitFallback(g, prog, n, refVal); err != nil {
+				return nil, cov, err
+			}
+			cov.Fallback++
+		}
+	}
+
+	for _, r := range g.Returns {
+		v, ok := refVal[firm.Ref{Node: r.Node, Result: r.Result}]
+		if !ok {
+			return nil, cov, fmt.Errorf("isel: %s: return ref v%d.%d was never emitted", g.Name, r.Node.ID, r.Result)
+		}
+		prog.Rets = append(prog.Rets, v)
+	}
+	return prog, cov, nil
+}
+
+// isShareable reports whether a matched interior node may also be used
+// outside the match. Constants are rematerializable and never block a
+// match.
+func isShareable(op string) bool { return op == "Const" }
+
+// matchedRealNodes counts the IR operations a match translates
+// (shareable interiors like Const are counted once, at the match that
+// absorbs them; a Const kept alive elsewhere re-emits via fallback).
+func matchedRealNodes(m *match) int { return len(m.nodeMap) }
+
+// tryMatch attempts to match the rule's pattern with its primary
+// result rooted at graph node n. It returns nil on mismatch.
+func (s *Selector) tryMatch(g *firm.Graph, r *pattern.Rule, n *firm.Node,
+	users map[*firm.Node][]*firm.Node, retained map[firm.Ref]bool, dec []decision) *match {
+	p := &r.Pattern
+	goal := s.Goals[r.Goal]
+	if goal == nil {
+		return nil
+	}
+	m := &match{
+		rule:    r,
+		nodeMap: make([]*firm.Node, len(p.Nodes)),
+		argBind: make([]firm.Ref, len(p.ArgKinds)),
+		imms:    make(map[int]uint64),
+		root:    n,
+	}
+	bound := make([]bool, len(p.ArgKinds))
+
+	// The primary result is the last non-memory result; patterns whose
+	// only result is memory root at the memory-producing node.
+	primary := -1
+	for i := len(p.Results) - 1; i >= 0; i-- {
+		if goal.Results[i] != sem.KindMem {
+			primary = i
+			break
+		}
+	}
+	if primary == -1 {
+		primary = len(p.Results) - 1
+	}
+	root := p.Results[primary]
+	if root.Kind != pattern.RefNode {
+		return nil // identity patterns never root a match
+	}
+
+	var matchNode func(pi int, gn *firm.Node) bool
+	var matchRef func(pr pattern.ValueRef, gr firm.Ref, kind sem.Kind) bool
+
+	matchNode = func(pi int, gn *firm.Node) bool {
+		if m.nodeMap[pi] != nil {
+			return m.nodeMap[pi] == gn
+		}
+		pn := &p.Nodes[pi]
+		if gn.IsPseudo() || gn.Op != pn.Op {
+			return false
+		}
+		if len(gn.Internals) != len(pn.Internals) {
+			return false
+		}
+		for i := range pn.Internals {
+			if gn.Internals[i] != pn.Internals[i] {
+				return false
+			}
+		}
+		// A node already consumed by another match (or already chosen
+		// as another instruction's root) cannot be interior here.
+		if gn != m.root && dec[gn.ID] != decDead {
+			return false
+		}
+		m.nodeMap[pi] = gn
+		op := ir.ByName(g.Ops(), pn.Op)
+		for i, pa := range pn.Args {
+			gr := firm.Ref{Node: gn.Args[i], Result: firm.ArgResult(g.Ops(), gn, i)}
+			if !matchRef(pa, gr, op.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	matchRef = func(pr pattern.ValueRef, gr firm.Ref, kind sem.Kind) bool {
+		if pr.Kind == pattern.RefArg {
+			if bound[pr.Index] {
+				return m.argBind[pr.Index] == gr
+			}
+			if p.ArgKinds[pr.Index] == sem.KindImm {
+				// Immediate operands must match compile-time constants.
+				if gr.Node.Op != "Const" {
+					return false
+				}
+				m.imms[pr.Index] = gr.Node.Internals[0]
+			}
+			bound[pr.Index] = true
+			m.argBind[pr.Index] = gr
+			return true
+		}
+		if gr.Result != pr.Result {
+			return false
+		}
+		return matchNode(pr.Index, gr.Node)
+	}
+
+	if !matchNode(root.Index, n) {
+		return nil
+	}
+	for pi := range p.Nodes {
+		if m.nodeMap[pi] == nil {
+			return nil // unmatched pattern node (dead node in pattern)
+		}
+	}
+
+	// Non-overlap check: every matched node's results may only be used
+	// inside the match or exposed as a pattern result.
+	inMatch := make(map[*firm.Node]bool, len(m.nodeMap))
+	for _, gn := range m.nodeMap {
+		inMatch[gn] = true
+	}
+	exposed := make(map[firm.Ref]bool)
+	for _, res := range p.Results {
+		if res.Kind == pattern.RefNode {
+			exposed[firm.Ref{Node: m.nodeMap[res.Index], Result: res.Result}] = true
+		}
+	}
+	for pi, gn := range m.nodeMap {
+		if isShareable(p.Nodes[pi].Op) {
+			continue
+		}
+		for rr := 0; rr < gn.NumResults(); rr++ {
+			ref := firm.Ref{Node: gn, Result: rr}
+			if exposed[ref] {
+				continue
+			}
+			if retained[ref] {
+				return nil
+			}
+			for _, u := range users[gn] {
+				if !inMatch[u] {
+					return nil
+				}
+			}
+		}
+	}
+
+	// Argument bindings must come from outside the match (or from a
+	// shareable node, or an exposed result): an operand produced by a
+	// swallowed interior value would have no register to live in.
+	for ai := range m.argBind {
+		if !bound[ai] {
+			continue
+		}
+		ref := m.argBind[ai]
+		if ref.Node == nil || !inMatch[ref.Node] {
+			continue
+		}
+		if isShareable(ref.Node.Op) || exposed[ref] {
+			continue
+		}
+		return nil
+	}
+
+	// The root must be the last matched node so its operands are all
+	// emitted before the instruction.
+	for _, gn := range m.nodeMap {
+		if gn.ID > n.ID {
+			return nil
+		}
+	}
+	return m
+}
+
+// emitMatch emits the machine instruction for a decided match.
+func (s *Selector) emitMatch(g *firm.Graph, prog *mach.Program, m *match, refVal map[firm.Ref]mach.Value) error {
+	goal := s.Goals[m.rule.Goal]
+	in := mach.Instr{Goal: goal, Imms: m.imms}
+	for ai := range m.rule.Pattern.ArgKinds {
+		if _, isImm := m.imms[ai]; isImm {
+			in.Args = append(in.Args, 0)
+			continue
+		}
+		ref := m.argBind[ai]
+		if ref.Node == nil {
+			// The pattern never references this argument; verification
+			// then proved the goal is independent of it (under the
+			// pattern's precondition), so any operand works.
+			in.Imms[ai] = 0
+			in.Args = append(in.Args, 0)
+			continue
+		}
+		v, ok := refVal[ref]
+		if !ok {
+			return fmt.Errorf("isel: %s: operand v%d.%d of %s not yet emitted", g.Name, ref.Node.ID, ref.Result, m.rule.Goal)
+		}
+		in.Args = append(in.Args, v)
+	}
+	for range goal.Results {
+		in.Results = append(in.Results, prog.NewValue())
+	}
+	prog.Append(in)
+	// Publish the produced refs. Identity (RefArg) results need no
+	// publication: the bound operand already has a value.
+	for ri, res := range m.rule.Pattern.Results {
+		if res.Kind != pattern.RefNode {
+			continue
+		}
+		gr := firm.Ref{Node: m.nodeMap[res.Index], Result: res.Result}
+		refVal[gr] = in.Results[ri]
+	}
+	return nil
+}
+
+// fallbackGoal maps an IR node to a single machine instruction.
+func fallbackGoal(goals map[string]*sem.Instr, n *firm.Node) *sem.Instr {
+	direct := map[string]string{
+		"Add": "add", "Sub": "sub", "Mul": "imul",
+		"And": "and", "Or": "or", "Eor": "xor",
+		"Not": "not", "Minus": "neg",
+		"Shl": "shl", "Shr": "shr", "Shrs": "sar",
+		"Load": "mov.load.b", "Store": "mov.store.b",
+		"Mux": "cmov",
+	}
+	if name, ok := direct[n.Op]; ok {
+		return goals[name]
+	}
+	if n.Op == "Cmp" {
+		rel := int(n.Internals[0])
+		cc := map[int]string{
+			ir.RelEq: "e", ir.RelNe: "ne",
+			ir.RelSlt: "l", ir.RelSle: "le", ir.RelSgt: "g", ir.RelSge: "ge",
+			ir.RelUlt: "b", ir.RelUle: "be", ir.RelUgt: "a", ir.RelUge: "ae",
+		}[rel]
+		return goals["cmp.j"+cc]
+	}
+	if n.Op == "Const" {
+		return goals["mov.imm"]
+	}
+	return nil
+}
+
+// emitFallback translates one node directly.
+func (s *Selector) emitFallback(g *firm.Graph, prog *mach.Program, n *firm.Node, refVal map[firm.Ref]mach.Value) error {
+	goal := fallbackGoal(s.Goals, n)
+	if goal == nil {
+		return fmt.Errorf("isel: %s: no fallback for op %s", g.Name, n.Op)
+	}
+	in := mach.Instr{Goal: goal, Imms: map[int]uint64{}}
+	if n.Op == "Const" {
+		in.Imms[0] = n.Internals[0]
+		in.Args = append(in.Args, 0)
+	} else {
+		// IR argument order matches the machine instruction's operand
+		// order for every fallback pair (Cmp's relation internal is
+		// carried by the condition code).
+		for i := range n.Args {
+			ref := firm.Ref{Node: n.Args[i], Result: firm.ArgResult(g.Ops(), n, i)}
+			v, ok := refVal[ref]
+			if !ok {
+				return fmt.Errorf("isel: %s: fallback operand v%d not emitted", g.Name, ref.Node.ID)
+			}
+			in.Args = append(in.Args, v)
+		}
+	}
+	for range goal.Results {
+		in.Results = append(in.Results, prog.NewValue())
+	}
+	prog.Append(in)
+	for r := 0; r < n.NumResults() && r < len(in.Results); r++ {
+		refVal[firm.Ref{Node: n, Result: r}] = in.Results[r]
+	}
+	return nil
+}

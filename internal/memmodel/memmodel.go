@@ -1,0 +1,238 @@
+// Package memmodel implements the paper's array-theory-free encoding of
+// memory (§4.1). Memory state (the "M-value") is a plain bit vector
+// holding, for each address the goal instruction can touch (its "valid
+// pointers"), one memory cell plus an access flag that load operations
+// set. Valid pointers are extracted from the goal's postcondition by a
+// syntactic dry run with a recording model.
+//
+// Deviation from the paper (documented in DESIGN.md): memory is
+// word-addressed with cell width equal to the word width W, rather than
+// byte-addressed with 8-bit cells. The structure of the encoding —
+// fixed-order ite chains over valid pointers, access flags, aliasing by
+// first-match — is unchanged; only the cell granularity differs, which
+// keeps M-values within the 64-bit term limit at every supported W.
+package memmodel
+
+import (
+	"fmt"
+
+	"selgen/internal/bv"
+	"selgen/internal/sem"
+)
+
+// Model is the goal-specialized memory model: an implementation of
+// sem.Mem over a fixed list of valid-pointer terms. Construct one per
+// instantiation (per test case or per symbolic verification) with New,
+// passing pointer terms built over that instantiation's arguments.
+type Model struct {
+	b     *bv.Builder
+	width int // cell width = word width
+	ptrs  []*bv.Term
+	// addrMask, when non-zero, is ANDed onto every pointer before the
+	// valid-pointer comparison (used by NewNaive).
+	addrMask uint64
+}
+
+// New returns a model over the given valid pointers. The M-value sort
+// is BitVec(len(ptrs)*(width+1)); len(ptrs)*(width+1) must be ≤ 64.
+func New(b *bv.Builder, width int, ptrs []*bv.Term) *Model {
+	if len(ptrs) == 0 {
+		panic("memmodel: model with no valid pointers")
+	}
+	total := len(ptrs) * (width + 1)
+	if total > 64 {
+		panic(fmt.Sprintf("memmodel: M-value needs %d bits (> 64); reduce width or pointer count", total))
+	}
+	return &Model{b: b, width: width, ptrs: ptrs}
+}
+
+// Sort implements sem.Mem.
+func (m *Model) Sort() bv.Sort { return bv.BitVec(len(m.ptrs) * (m.width + 1)) }
+
+// ByteWidth implements sem.Mem (cells are word-sized here).
+func (m *Model) ByteWidth() int { return m.width }
+
+// NumPtrs returns the number of valid pointers.
+func (m *Model) NumPtrs() int { return len(m.ptrs) }
+
+// Ptrs returns the valid-pointer terms (in chain order).
+func (m *Model) Ptrs() []*bv.Term { return m.ptrs }
+
+// cell bit layout: slot i occupies bits [i*(w+1), i*(w+1)+w):
+// contents, then one access-flag bit at i*(w+1)+w.
+func (m *Model) cellLo(i int) int  { return i * (m.width + 1) }
+func (m *Model) flagBit(i int) int { return i*(m.width+1) + m.width }
+
+// Contents extracts the stored cell for slot i from an M-value term.
+func (m *Model) Contents(mv *bv.Term, i int) *bv.Term {
+	lo := m.cellLo(i)
+	return m.b.Extract(mv, lo+m.width-1, lo)
+}
+
+// Flag extracts the access-flag bit for slot i (width 1).
+func (m *Model) Flag(mv *bv.Term, i int) *bv.Term {
+	fb := m.flagBit(i)
+	return m.b.Extract(mv, fb, fb)
+}
+
+// setFlag returns mv with slot i's access flag set.
+func (m *Model) setFlag(mv *bv.Term, i int) *bv.Term {
+	return m.b.BvOr(mv, m.b.Const(1<<uint(m.flagBit(i)), m.Sort().Width))
+}
+
+// replaceCell returns mv with slot i's contents replaced by x.
+func (m *Model) replaceCell(mv *bv.Term, i int, x *bv.Term) *bv.Term {
+	w := m.Sort().Width
+	lo := m.cellLo(i)
+	mask := bv.Mask(m.width) << uint(lo)
+	cleared := m.b.BvAnd(mv, m.b.Const(^mask, w))
+	shifted := m.b.BvShl(m.b.Zext(x, w), m.b.Const(uint64(lo), w))
+	return m.b.BvOr(cleared, shifted)
+}
+
+// Ld implements sem.Mem: it traverses the valid pointers in fixed order
+// (first match wins, which keeps aliasing consistent, §4.1) and returns
+// the new M-value with the matching slot's access flag set, the loaded
+// value, and the validity predicate p ∈ V.
+func (m *Model) Ld(mv, p *bv.Term) (mOut, val, valid *bv.Term) {
+	b := m.b
+	if m.addrMask != 0 {
+		p = b.BvAnd(p, b.Const(m.addrMask, m.width))
+	}
+	mOut = mv // default (never selected when valid holds)
+	val = b.Const(0, m.width)
+	valid = b.BoolConst(false)
+	for i := len(m.ptrs) - 1; i >= 0; i-- {
+		hit := b.Eq(p, m.ptrs[i])
+		mOut = b.Ite(hit, m.setFlag(mv, i), mOut)
+		val = b.Ite(hit, m.Contents(mv, i), val)
+		valid = b.Or(valid, hit)
+	}
+	return mOut, val, valid
+}
+
+// St implements sem.Mem: fixed-order first-match store of x at p.
+func (m *Model) St(mv, p, x *bv.Term) (mOut, valid *bv.Term) {
+	b := m.b
+	if m.addrMask != 0 {
+		p = b.BvAnd(p, b.Const(m.addrMask, m.width))
+	}
+	mOut = mv
+	valid = b.BoolConst(false)
+	for i := len(m.ptrs) - 1; i >= 0; i-- {
+		hit := b.Eq(p, m.ptrs[i])
+		mOut = b.Ite(hit, m.replaceCell(mv, i, x), mOut)
+		valid = b.Or(valid, hit)
+	}
+	return mOut, valid
+}
+
+var _ sem.Mem = (*Model)(nil)
+
+// NewNaive returns the encoding the paper rejects (§4.1): instead of
+// restricting the M-value to the goal's valid pointers, memory is a
+// reduced full address space of `slots` word cells (slots must be a
+// power of two; addresses wrap modulo slots). Every load/store then
+// muxes over all slots, which blows up the synthesis formulae — the
+// memory-encoding ablation (E6 in DESIGN.md) measures exactly this.
+func NewNaive(b *bv.Builder, width, slots int) *Model {
+	if slots&(slots-1) != 0 || slots < 2 {
+		panic(fmt.Sprintf("memmodel: naive slot count %d must be a power of two", slots))
+	}
+	ptrs := make([]*bv.Term, slots)
+	for i := range ptrs {
+		ptrs[i] = b.Const(uint64(i), width)
+	}
+	m := New(b, width, ptrs)
+	m.addrMask = uint64(slots - 1)
+	return m
+}
+
+// Recorder is a sem.Mem that performs no memory modelling: it records
+// the pointer argument of every Ld/St call, implementing the paper's
+// syntactic extraction of valid pointers from the goal's postcondition.
+// Loaded values are fresh variables so downstream computation remains
+// well-sorted.
+type Recorder struct {
+	b     *bv.Builder
+	width int
+	// Ptrs accumulates the pointer terms in call order.
+	Ptrs []*bv.Term
+	// Loads and Stores count the respective operations.
+	Loads, Stores int
+	fresh         int
+}
+
+// NewRecorder returns a recording model for the given cell width.
+func NewRecorder(b *bv.Builder, width int) *Recorder {
+	return &Recorder{b: b, width: width}
+}
+
+// Sort implements sem.Mem with a 1-bit placeholder M-value sort.
+func (r *Recorder) Sort() bv.Sort { return bv.BitVec(1) }
+
+// ByteWidth implements sem.Mem.
+func (r *Recorder) ByteWidth() int { return r.width }
+
+// Ld implements sem.Mem by recording p.
+func (r *Recorder) Ld(mv, p *bv.Term) (mOut, val, valid *bv.Term) {
+	r.Ptrs = append(r.Ptrs, p)
+	r.Loads++
+	r.fresh++
+	return mv, r.b.Var(fmt.Sprintf("__rec_ld%d", r.fresh), bv.BitVec(r.width)), r.b.BoolConst(true)
+}
+
+// St implements sem.Mem by recording p.
+func (r *Recorder) St(mv, p, x *bv.Term) (mOut, valid *bv.Term) {
+	r.Ptrs = append(r.Ptrs, p)
+	r.Stores++
+	return mv, r.b.BoolConst(true)
+}
+
+var _ sem.Mem = (*Recorder)(nil)
+
+// Analysis summarizes the memory behaviour of a goal instruction.
+type Analysis struct {
+	// NumPtrs is |V(g)|, the number of valid pointers.
+	NumPtrs int
+	// Loads and Stores count the goal's ld/st operations.
+	Loads, Stores int
+}
+
+// AccessesMemory reports whether the goal touches memory at all.
+func (a Analysis) AccessesMemory() bool { return a.NumPtrs > 0 }
+
+// Analyze extracts the memory behaviour of g by running its semantics
+// once with a Recorder over fresh argument variables (the dry run is
+// purely syntactic; argument values never matter).
+func Analyze(b *bv.Builder, width int, g *sem.Instr) Analysis {
+	rec := NewRecorder(b, width)
+	ctx := &sem.Ctx{B: b, Width: width, Mem: rec}
+	if !g.AccessesMemory() {
+		return Analysis{}
+	}
+	va := g.FreshArgs(ctx, "__ana_a")
+	vi := g.FreshInternals(ctx, "__ana_i")
+	g.Apply(ctx, va, vi)
+	return Analysis{NumPtrs: len(rec.Ptrs), Loads: rec.Loads, Stores: rec.Stores}
+}
+
+// PtrsFor recomputes the goal's valid-pointer terms over the given
+// argument instantiation va (concrete constants during CEGIS synthesis,
+// symbolic variables during verification).
+func PtrsFor(b *bv.Builder, width int, g *sem.Instr, va, vi []*bv.Term) []*bv.Term {
+	rec := NewRecorder(b, width)
+	ctx := &sem.Ctx{B: b, Width: width, Mem: rec}
+	// Memory arguments in va have the final model's sort, not the
+	// recorder's placeholder sort; substitute placeholders.
+	va2 := make([]*bv.Term, len(va))
+	for i, k := range g.Args {
+		if k == sem.KindMem {
+			va2[i] = b.Var(fmt.Sprintf("__rec_m%d", i), rec.Sort())
+		} else {
+			va2[i] = va[i]
+		}
+	}
+	g.Apply(ctx, va2, vi)
+	return rec.Ptrs
+}

@@ -1,0 +1,204 @@
+package memmodel
+
+import (
+	"testing"
+
+	"selgen/internal/bv"
+	"selgen/internal/sem"
+)
+
+const w = 8
+
+func TestSortSizing(t *testing.T) {
+	b := bv.NewBuilder()
+	p := b.Var("p", bv.BitVec(w))
+	q := b.Var("q", bv.BitVec(w))
+	m1 := New(b, w, []*bv.Term{p})
+	if m1.Sort().Width != 9 {
+		t.Fatalf("1 pointer at width 8: sort width %d, want 9", m1.Sort().Width)
+	}
+	m2 := New(b, w, []*bv.Term{p, q})
+	if m2.Sort().Width != 18 {
+		t.Fatalf("2 pointers: sort width %d, want 18", m2.Sort().Width)
+	}
+	if m2.NumPtrs() != 2 || m2.ByteWidth() != w {
+		t.Fatalf("model metadata wrong")
+	}
+}
+
+func TestOversizedModelPanics(t *testing.T) {
+	b := bv.NewBuilder()
+	var ptrs []*bv.Term
+	for i := 0; i < 8; i++ { // 8*(8+1) = 72 > 64
+		ptrs = append(ptrs, b.Const(uint64(i), w))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("oversized M-value must panic")
+		}
+	}()
+	New(b, w, ptrs)
+}
+
+func TestStoreThenLoadSameAddress(t *testing.T) {
+	b := bv.NewBuilder()
+	p := b.Var("p", bv.BitVec(w))
+	m := New(b, w, []*bv.Term{p})
+	m0 := b.Var("m0", m.Sort())
+	m1, _ := m.St(m0, p, b.Const(0xab, w))
+	_, val, valid := m.Ld(m1, p)
+	env := bv.Model{"p": 3, "m0": 0x1ff}
+	if bv.Eval(val, env) != 0xab {
+		t.Fatalf("load after store: %#x", bv.Eval(val, env))
+	}
+	if bv.Eval(valid, env) != 1 {
+		t.Fatalf("p must be valid")
+	}
+}
+
+func TestTwoSlotIndependence(t *testing.T) {
+	b := bv.NewBuilder()
+	p := b.Var("p", bv.BitVec(w))
+	q := b.Var("q", bv.BitVec(w))
+	m := New(b, w, []*bv.Term{p, q})
+	m0 := b.Var("m0", m.Sort())
+	m1, _ := m.St(m0, p, b.Const(0x11, w))
+	m2, _ := m.St(m1, q, b.Const(0x22, w))
+	_, vp, _ := m.Ld(m2, p)
+	_, vq, _ := m.Ld(m2, q)
+	env := bv.Model{"p": 1, "q": 2, "m0": 0}
+	if bv.Eval(vp, env) != 0x11 || bv.Eval(vq, env) != 0x22 {
+		t.Fatalf("slots interfere: p→%#x q→%#x", bv.Eval(vp, env), bv.Eval(vq, env))
+	}
+}
+
+func TestAliasingFirstMatchWins(t *testing.T) {
+	// When two valid pointers alias (same runtime address), the fixed
+	// ite order means only the first slot is ever used (§4.1).
+	b := bv.NewBuilder()
+	p := b.Var("p", bv.BitVec(w))
+	q := b.Var("q", bv.BitVec(w))
+	m := New(b, w, []*bv.Term{p, q})
+	m0 := b.Const(0, m.Sort().Width)
+	m1, _ := m.St(m0, q, b.Const(0x55, w)) // store "via q"
+	_, got, _ := m.Ld(m1, p)               // load "via p"
+	// p == q at runtime: the store hit slot 0 (p's slot, first match),
+	// and the load reads slot 0 too — consistent aliasing.
+	env := bv.Model{"p": 9, "q": 9}
+	if bv.Eval(got, env) != 0x55 {
+		t.Fatalf("aliasing store/load inconsistent: got %#x", bv.Eval(got, env))
+	}
+}
+
+func TestInvalidPointerPredicate(t *testing.T) {
+	b := bv.NewBuilder()
+	p := b.Var("p", bv.BitVec(w))
+	m := New(b, w, []*bv.Term{p})
+	m0 := b.Const(0, m.Sort().Width)
+	r := b.Var("r", bv.BitVec(w))
+	_, _, valid := m.Ld(m0, r)
+	if bv.Eval(valid, bv.Model{"p": 5, "r": 5}) != 1 {
+		t.Fatalf("equal pointer should be valid")
+	}
+	if bv.Eval(valid, bv.Model{"p": 5, "r": 6}) != 0 {
+		t.Fatalf("unequal pointer should be invalid")
+	}
+}
+
+func TestLoadSetsFlagOnly(t *testing.T) {
+	b := bv.NewBuilder()
+	p := b.Var("p", bv.BitVec(w))
+	m := New(b, w, []*bv.Term{p})
+	m0 := b.Var("m0", m.Sort())
+	m1, _, _ := m.Ld(m0, p)
+	env := bv.Model{"p": 0, "m0": 0x0ab}
+	got := bv.Eval(m1, env)
+	// Contents (low 8 bits) unchanged, flag bit (bit 8) set.
+	if got != 0x1ab {
+		t.Fatalf("load flag: m1 = %#x, want 0x1ab", got)
+	}
+	// A second load leaves the M-value unchanged (flag already set).
+	m2, _, _ := m.Ld(m1, p)
+	if bv.Eval(m2, env) != got {
+		t.Fatalf("second load must be idempotent on the M-value")
+	}
+}
+
+// goalStorePair is a two-store goal used to test the recorder: it
+// writes x to [p] and to [p+1].
+func goalStorePair() *sem.Instr {
+	return &sem.Instr{
+		Name:    "test.storepair",
+		Args:    []sem.Kind{sem.KindMem, sem.KindValue, sem.KindValue},
+		Results: []sem.Kind{sem.KindMem},
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			b := ctx.B
+			m1, ok1 := ctx.Mem.St(va[0], va[1], va[2])
+			m2, ok2 := ctx.Mem.St(m1, b.BvAdd(va[1], b.Const(1, ctx.Width)), va[2])
+			return sem.Effect{Results: []*bv.Term{m2}, MemOK: b.And(ok1, ok2)}
+		},
+	}
+}
+
+func TestAnalyzeStorePair(t *testing.T) {
+	b := bv.NewBuilder()
+	a := Analyze(b, w, goalStorePair())
+	if a.NumPtrs != 2 || a.Stores != 2 || a.Loads != 0 {
+		t.Fatalf("analysis: %+v", a)
+	}
+	if !a.AccessesMemory() {
+		t.Fatalf("store pair accesses memory")
+	}
+}
+
+func TestAnalyzeNonMemoryGoal(t *testing.T) {
+	b := bv.NewBuilder()
+	add := &sem.Instr{
+		Name:    "test.add",
+		Args:    []sem.Kind{sem.KindValue, sem.KindValue},
+		Results: []sem.Kind{sem.KindValue},
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{ctx.B.BvAdd(va[0], va[1])}}
+		},
+	}
+	a := Analyze(b, w, add)
+	if a.AccessesMemory() {
+		t.Fatalf("pure add must not access memory")
+	}
+}
+
+func TestPtrsForConcreteArgs(t *testing.T) {
+	b := bv.NewBuilder()
+	g := goalStorePair()
+	va := []*bv.Term{nil, b.Const(0x10, w), b.Const(0xff, w)}
+	// The memory argument is substituted internally; pass a placeholder.
+	ptrs := PtrsFor(b, w, g, va, nil)
+	if len(ptrs) != 2 {
+		t.Fatalf("want 2 pointers, got %d", len(ptrs))
+	}
+	if !ptrs[0].IsConst() || ptrs[0].ConstValue() != 0x10 {
+		t.Fatalf("first pointer should fold to 0x10: %v", ptrs[0])
+	}
+	if !ptrs[1].IsConst() || ptrs[1].ConstValue() != 0x11 {
+		t.Fatalf("second pointer should fold to 0x11: %v", ptrs[1])
+	}
+}
+
+func TestContentsAndFlagAccessors(t *testing.T) {
+	b := bv.NewBuilder()
+	p := b.Var("p", bv.BitVec(w))
+	q := b.Var("q", bv.BitVec(w))
+	m := New(b, w, []*bv.Term{p, q})
+	mv := b.Const(0, m.Sort().Width)
+	m1, _ := m.St(mv, q, b.Const(0x77, w))
+	env := bv.Model{"p": 1, "q": 2}
+	if bv.Eval(m.Contents(m1, 1), env) != 0x77 {
+		t.Fatalf("slot 1 contents")
+	}
+	if bv.Eval(m.Contents(m1, 0), env) != 0 {
+		t.Fatalf("slot 0 should be untouched")
+	}
+	if bv.Eval(m.Flag(m1, 1), env) != 0 {
+		t.Fatalf("store must not set the access flag")
+	}
+}

@@ -1,0 +1,80 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildPHP builds the pigeonhole principle instance PHP(p, h).
+func buildPHP(p, h int) *Solver {
+	s := New()
+	for i := 0; i < p*h; i++ {
+		s.NewVar()
+	}
+	v := func(pi, hi int) Lit { return MkLit(Var(pi*h+hi), false) }
+	for pi := 0; pi < p; pi++ {
+		var c []Lit
+		for hi := 0; hi < h; hi++ {
+			c = append(c, v(pi, hi))
+		}
+		s.AddClause(c...)
+	}
+	for hi := 0; hi < h; hi++ {
+		for p1 := 0; p1 < p; p1++ {
+			for p2 := p1 + 1; p2 < p; p2++ {
+				s.AddClause(v(p1, hi).Not(), v(p2, hi).Not())
+			}
+		}
+	}
+	return s
+}
+
+func BenchmarkPigeonhole7x6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := buildPHP(7, 6)
+		st, err := s.Solve(Options{})
+		if err != nil || st != Unsat {
+			b.Fatalf("got %v %v", st, err)
+		}
+	}
+}
+
+func BenchmarkRandom3SAT(b *testing.B) {
+	// Planted satisfiable instances at clause ratio 4.0.
+	rng := rand.New(rand.NewSource(5))
+	n := 120
+	m := 480
+	for i := 0; i < b.N; i++ {
+		planted := make([]bool, n)
+		for j := range planted {
+			planted[j] = rng.Intn(2) == 0
+		}
+		s := New()
+		for j := 0; j < n; j++ {
+			s.NewVar()
+		}
+		for c := 0; c < m; c++ {
+			lits := make([]Lit, 3)
+			sat := false
+			for j := range lits {
+				v := Var(rng.Intn(n))
+				lits[j] = MkLit(v, rng.Intn(2) == 0)
+				val := planted[v]
+				if lits[j].Neg() {
+					val = !val
+				}
+				if val {
+					sat = true
+				}
+			}
+			if !sat {
+				lits[0] = MkLit(lits[0].Var(), !planted[lits[0].Var()])
+			}
+			s.AddClause(lits...)
+		}
+		st, err := s.Solve(Options{})
+		if err != nil || st != Sat {
+			b.Fatalf("got %v %v", st, err)
+		}
+	}
+}

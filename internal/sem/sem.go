@@ -1,0 +1,192 @@
+// Package sem defines the semantic-model interface shared by IR
+// operations (internal/ir) and machine instructions (internal/x86),
+// following §4 of the reproduced paper: an instruction has argument,
+// internal, and result sorts (Sa, Si, Sr) and its behaviour is given by
+// a precondition P and a postcondition Q over bit-vector terms.
+//
+// Postconditions here are functional: Sem computes the result terms
+// from argument and internal-attribute terms, which is the form the
+// CEGIS connection constraint (§5.1) consumes directly.
+package sem
+
+import (
+	"fmt"
+
+	"selgen/internal/bv"
+)
+
+// Kind classifies instruction interface sorts.
+type Kind int
+
+const (
+	// KindValue is a word-sized bit-vector value (width from Ctx).
+	KindValue Kind = iota
+	// KindBool is a boolean (used for compare/jump results).
+	KindBool
+	// KindMem is the memory state (M-value, §4.1); its bit-vector
+	// representation is specialized per goal instruction.
+	KindMem
+	// KindImm is a word-sized value that an instruction selector must
+	// match against a compile-time constant (an immediate operand).
+	// Semantically identical to KindValue.
+	KindImm
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindValue:
+		return "Value"
+	case KindBool:
+		return "Bool"
+	case KindMem:
+		return "M"
+	case KindImm:
+		return "Imm"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Compatible reports whether a value of kind k may feed an argument
+// slot of kind want. Immediates are values; memory and bool are strict.
+func (k Kind) Compatible(want Kind) bool {
+	if k == want {
+		return true
+	}
+	return (k == KindImm && want == KindValue) || (k == KindValue && want == KindImm)
+}
+
+// Mem abstracts the goal-specialized memory model of §4.1. Both the
+// goal instruction's own semantics and candidate patterns use the same
+// model during one synthesis.
+type Mem interface {
+	// Sort returns the bit-vector sort representing M-values.
+	Sort() bv.Sort
+	// Ld loads one byte: returns the new M-value (access flag set) and
+	// the loaded value, plus a validity predicate that holds iff p is
+	// one of the goal's valid pointers.
+	Ld(m, p *bv.Term) (mOut, val, valid *bv.Term)
+	// St stores one byte and returns the new M-value plus the validity
+	// predicate for p.
+	St(m, p, x *bv.Term) (mOut, valid *bv.Term)
+	// ByteWidth returns the width of one memory byte.
+	ByteWidth() int
+}
+
+// Ctx carries everything a semantic model needs to emit terms.
+type Ctx struct {
+	B *bv.Builder
+	// Width is the word width W (the paper fixes 32; here configurable).
+	Width int
+	// Mem is the goal-specialized memory model, nil when the current
+	// synthesis has no memory access.
+	Mem Mem
+}
+
+// WordSort returns the bit-vector sort of machine words.
+func (c *Ctx) WordSort() bv.Sort { return bv.BitVec(c.Width) }
+
+// SortOf maps an interface kind to its bv sort in this context.
+func (c *Ctx) SortOf(k Kind) bv.Sort {
+	switch k {
+	case KindValue, KindImm:
+		return c.WordSort()
+	case KindBool:
+		return bv.Bool
+	case KindMem:
+		if c.Mem == nil {
+			panic("sem: KindMem sort requested without a memory model")
+		}
+		return c.Mem.Sort()
+	}
+	panic(fmt.Sprintf("sem: unknown kind %v", k))
+}
+
+// Effect is what Sem produces: result terms, an optional precondition
+// (nil = true), and an optional memory-validity side condition (nil =
+// true) collecting the Ld/St validity predicates of this instruction.
+type Effect struct {
+	Results []*bv.Term
+	Pre     *bv.Term
+	MemOK   *bv.Term
+}
+
+// Instr is one instruction (IR operation or machine instruction) with
+// its interface and semantics.
+type Instr struct {
+	// Name identifies the instruction, e.g. "Add" or "x86.lea.b.i.s2".
+	Name string
+	// Args, Internals, Results are Sa, Si, Sr of the paper.
+	Args      []Kind
+	Internals []Kind
+	// Results lists the result kinds.
+	Results []Kind
+	// Sem computes the results from arguments and internal attributes.
+	// len(va) == len(Args), len(vi) == len(Internals); the returned
+	// Effect.Results has len(Results) entries of matching sorts.
+	Sem func(ctx *Ctx, va, vi []*bv.Term) Effect
+	// Cost is the instruction-selection cost (used by the code
+	// generator and the cycle simulator); zero means 1.
+	Cost int
+}
+
+// HasKind reports whether any argument or result has the given kind.
+func (in *Instr) HasKind(k Kind) bool {
+	for _, a := range in.Args {
+		if a == k {
+			return true
+		}
+	}
+	for _, r := range in.Results {
+		if r == k {
+			return true
+		}
+	}
+	return false
+}
+
+// AccessesMemory reports whether the instruction touches memory.
+func (in *Instr) AccessesMemory() bool { return in.HasKind(KindMem) }
+
+// CostOrDefault returns the cost, defaulting to 1.
+func (in *Instr) CostOrDefault() int {
+	if in.Cost == 0 {
+		return 1
+	}
+	return in.Cost
+}
+
+func (in *Instr) String() string { return in.Name }
+
+// Apply runs the semantics, checking interface arity.
+func (in *Instr) Apply(ctx *Ctx, va, vi []*bv.Term) Effect {
+	if len(va) != len(in.Args) {
+		panic(fmt.Sprintf("sem: %s applied to %d args, want %d", in.Name, len(va), len(in.Args)))
+	}
+	if len(vi) != len(in.Internals) {
+		panic(fmt.Sprintf("sem: %s given %d internals, want %d", in.Name, len(vi), len(in.Internals)))
+	}
+	eff := in.Sem(ctx, va, vi)
+	if len(eff.Results) != len(in.Results) {
+		panic(fmt.Sprintf("sem: %s produced %d results, want %d", in.Name, len(eff.Results), len(in.Results)))
+	}
+	return eff
+}
+
+// FreshArgs returns variable terms for the instruction's arguments,
+// named prefix0, prefix1, ...
+func (in *Instr) FreshArgs(ctx *Ctx, prefix string) []*bv.Term {
+	out := make([]*bv.Term, len(in.Args))
+	for i, k := range in.Args {
+		out[i] = ctx.B.Var(fmt.Sprintf("%s%d", prefix, i), ctx.SortOf(k))
+	}
+	return out
+}
+
+// FreshInternals returns variable terms for the internal attributes.
+func (in *Instr) FreshInternals(ctx *Ctx, prefix string) []*bv.Term {
+	out := make([]*bv.Term, len(in.Internals))
+	for i, k := range in.Internals {
+		out[i] = ctx.B.Var(fmt.Sprintf("%s%d", prefix, i), ctx.SortOf(k))
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+// Package smt provides a small SMT-solver facade over internal/bitblast
+// and internal/sat: assert QF_BV formulae built with internal/bv, check
+// satisfiability, and extract models.
+//
+// It plays the role of Z3 (restricted to QF_BV, as in the reproduced
+// paper, §2.3) for all synthesis and verification queries.
+package smt
+
+import (
+	"errors"
+	"time"
+
+	"selgen/internal/bitblast"
+	"selgen/internal/bv"
+	"selgen/internal/sat"
+)
+
+// Result is the outcome of a Check call.
+type Result int
+
+const (
+	// Unknown means the budget expired before an answer.
+	Unknown Result = iota
+	// Sat means the conjunction of assertions is satisfiable.
+	Sat
+	// Unsat means it is unsatisfiable.
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrBudget is returned when the conflict or time budget is exhausted.
+var ErrBudget = errors.New("smt: budget exhausted")
+
+// Options bound a Check call. Zero value = unlimited.
+type Options struct {
+	// MaxConflicts caps the SAT search (0 = unlimited).
+	MaxConflicts int64
+	// Timeout caps wall-clock time (0 = unlimited).
+	Timeout time.Duration
+}
+
+// Stats accumulates query counts and solver effort.
+type Stats struct {
+	Checks    int64
+	SatTime   time.Duration
+	Conflicts int64
+}
+
+// Solver accumulates assertions over terms from one bv.Builder.
+// It is single-shot per Check in the sense that each Check re-blasts
+// nothing (terms are cached) but runs a fresh SAT search over all
+// clauses added so far; additional assertions may be added between
+// checks (monotonically, like SMT-LIB assert without push/pop).
+type Solver struct {
+	B  *bv.Builder
+	bb *bitblast.Blaster
+	s  *sat.Solver
+
+	asserted []*bv.Term
+
+	Stats Stats
+}
+
+// NewSolver returns a solver for terms of the given builder.
+func NewSolver(b *bv.Builder) *Solver {
+	s := sat.New()
+	return &Solver{B: b, bb: bitblast.New(s), s: s}
+}
+
+// Assert adds a boolean term to the assertion set.
+func (s *Solver) Assert(t *bv.Term) {
+	s.asserted = append(s.asserted, t)
+	s.bb.Assert(t)
+}
+
+// Check determines satisfiability of the asserted set under opts.
+func (s *Solver) Check(opts Options) (Result, error) {
+	s.Stats.Checks++
+	var so sat.Options
+	so.MaxConflicts = opts.MaxConflicts
+	if opts.Timeout > 0 {
+		so.Deadline = time.Now().Add(opts.Timeout)
+	}
+	start := time.Now()
+	st, err := s.s.Solve(so)
+	s.Stats.SatTime += time.Since(start)
+	s.Stats.Conflicts = s.s.Stats.Conflicts
+	switch st {
+	case sat.Sat:
+		return Sat, nil
+	case sat.Unsat:
+		return Unsat, nil
+	}
+	if err != nil {
+		return Unknown, ErrBudget
+	}
+	return Unknown, nil
+}
+
+// Value reads a term's value from the last Sat model. The term must
+// occur in (a subterm of) an asserted formula; to read arbitrary
+// variables prefer ModelValue.
+func (s *Solver) Value(t *bv.Term) uint64 { return s.bb.Value(t) }
+
+// ModelValue returns the model value of a named variable of the given
+// sort, allocating it if the variable never occurred in an assertion
+// (in which case its value is arbitrary but fixed).
+func (s *Solver) ModelValue(name string, sort bv.Sort) uint64 {
+	ls := s.bb.VarLits(name, sort)
+	var v uint64
+	for i, l := range ls {
+		bit := s.s.Model(l.Var())
+		if l.Neg() {
+			bit = !bit
+		}
+		if bit {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// Model extracts the values of all given variables from the last Sat
+// answer into a bv.Model usable with bv.Eval.
+func (s *Solver) Model(vars []*bv.Term) bv.Model {
+	m := make(bv.Model, len(vars))
+	for _, v := range vars {
+		if v.Op != bv.OpVar {
+			panic("smt: Model of non-variable term")
+		}
+		m[v.Name] = s.ModelValue(v.Name, v.Sort)
+	}
+	return m
+}
+
+// NumClauses reports the size of the underlying CNF (for statistics).
+func (s *Solver) NumClauses() int { return s.s.NumClauses() }
+
+// NumSATVars reports the number of SAT variables allocated.
+func (s *Solver) NumSATVars() int { return s.s.NumVars() }

@@ -1,0 +1,127 @@
+package smt
+
+import (
+	"testing"
+	"time"
+
+	"selgen/internal/bv"
+)
+
+func TestSatWithModel(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	x := b.Var("x", bv.BitVec(8))
+	y := b.Var("y", bv.BitVec(8))
+	s.Assert(b.Eq(b.BvAdd(x, y), b.Const(10, 8)))
+	s.Assert(b.Ult(x, y))
+	res, err := s.Check(Options{})
+	if err != nil || res != Sat {
+		t.Fatalf("check: %v %v", res, err)
+	}
+	m := s.Model([]*bv.Term{x, y})
+	if (m["x"]+m["y"])&0xff != 10 || m["x"] >= m["y"] {
+		t.Fatalf("bad model: %v", m)
+	}
+	// Model must satisfy the original formula under evaluation.
+	if bv.Eval(b.And(b.Eq(b.BvAdd(x, y), b.Const(10, 8)), b.Ult(x, y)), m) != 1 {
+		t.Fatalf("model does not evaluate formula to true")
+	}
+}
+
+func TestUnsat(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	x := b.Var("x", bv.BitVec(8))
+	s.Assert(b.Ult(x, b.Const(5, 8)))
+	s.Assert(b.Ult(b.Const(10, 8), x))
+	res, err := s.Check(Options{})
+	if err != nil || res != Unsat {
+		t.Fatalf("check: %v %v", res, err)
+	}
+}
+
+func TestIncrementalAsserts(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	x := b.Var("x", bv.BitVec(8))
+	s.Assert(b.Ult(x, b.Const(100, 8)))
+	if res, _ := s.Check(Options{}); res != Sat {
+		t.Fatalf("first check should be sat")
+	}
+	s.Assert(b.Ult(b.Const(50, 8), x))
+	if res, _ := s.Check(Options{}); res != Sat {
+		t.Fatalf("second check should be sat")
+	}
+	v := s.ModelValue("x", bv.BitVec(8))
+	if v <= 50 || v >= 100 {
+		t.Fatalf("x = %d out of (50,100)", v)
+	}
+	s.Assert(b.Eq(x, b.Const(200, 8)))
+	if res, _ := s.Check(Options{}); res != Unsat {
+		t.Fatalf("third check should be unsat")
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	// A hard instance: multiplication inversion at width 16.
+	x := b.Var("x", bv.BitVec(16))
+	y := b.Var("y", bv.BitVec(16))
+	s.Assert(b.Eq(b.BvMul(x, y), b.Const(0x8001, 16)))
+	s.Assert(b.Ult(b.Const(1, 16), x))
+	s.Assert(b.Ult(b.Const(1, 16), y))
+	res, err := s.Check(Options{MaxConflicts: 1})
+	if res != Unknown || err != ErrBudget {
+		// A very lucky solve could legitimately finish; accept Sat too,
+		// but the result must not be Unsat.
+		if res == Unsat {
+			t.Fatalf("factoring 0x8001 must not be unsat")
+		}
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	x := b.Var("x", bv.BitVec(8))
+	s.Assert(b.Eq(x, b.Const(1, 8)))
+	res, err := s.Check(Options{Timeout: time.Minute})
+	if err != nil || res != Sat {
+		t.Fatalf("easy instance within generous timeout: %v %v", res, err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	x := b.Var("x", bv.BitVec(8))
+	s.Assert(b.Eq(x, b.Const(3, 8)))
+	s.Check(Options{})
+	s.Check(Options{})
+	if s.Stats.Checks != 2 {
+		t.Fatalf("checks = %d", s.Stats.Checks)
+	}
+	if s.NumSATVars() == 0 {
+		t.Fatalf("expected SAT variables to be allocated")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if Sat.String() != "sat" || Unsat.String() != "unsat" || Unknown.String() != "unknown" {
+		t.Fatalf("result strings")
+	}
+}
+
+func TestBooleanModelValue(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	p := b.Var("p", bv.Bool)
+	s.Assert(p)
+	if res, _ := s.Check(Options{}); res != Sat {
+		t.Fatalf("should be sat")
+	}
+	if s.ModelValue("p", bv.Bool) != 1 {
+		t.Fatalf("p should be true in model")
+	}
+}

@@ -1,0 +1,217 @@
+package smtlib
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"selgen/internal/bv"
+	"selgen/internal/smt"
+)
+
+// Script executes SMT-LIB commands against an internal/smt solver:
+// set-logic, set-info, declare-const, declare-fun (0-ary), define-fun,
+// assert, check-sat, get-model, get-value, echo, exit.
+type Script struct {
+	B      *bv.Builder
+	Solver *smt.Solver
+	Env    *Env
+
+	declared []*bv.Term
+	lastSat  bool
+
+	// Opts bound each check-sat.
+	Opts smt.Options
+}
+
+// NewScript returns an empty script context.
+func NewScript() *Script {
+	b := bv.NewBuilder()
+	return &Script{B: b, Solver: smt.NewSolver(b), Env: NewEnv()}
+}
+
+// Run executes all commands in src, writing results (sat/unsat, model
+// values, echoes) to out.
+func (s *Script) Run(src string, out io.Writer) error {
+	cmds, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	for _, c := range cmds {
+		stop, err := s.exec(c, out)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *Script) exec(c SExpr, out io.Writer) (stop bool, err error) {
+	if c.IsAtom() || len(c.List) == 0 || !c.List[0].IsAtom() {
+		return false, errf(c.Line, "expected a command, got %s", c.String())
+	}
+	name := c.List[0].Atom
+	args := c.List[1:]
+	switch name {
+	case "set-logic":
+		if len(args) == 1 && args[0].Atom != "QF_BV" {
+			return false, errf(c.Line, "unsupported logic %q (only QF_BV)", args[0].Atom)
+		}
+		return false, nil
+	case "set-info", "set-option":
+		return false, nil
+	case "echo":
+		for _, a := range args {
+			fmt.Fprintln(out, a.Atom)
+		}
+		return false, nil
+	case "exit":
+		return true, nil
+
+	case "declare-const":
+		if len(args) != 2 || !args[0].IsAtom() {
+			return false, errf(c.Line, "declare-const needs a name and a sort")
+		}
+		return false, s.declare(args[0].Atom, args[1], c.Line)
+
+	case "declare-fun":
+		if len(args) != 3 || !args[0].IsAtom() || args[1].IsAtom() {
+			return false, errf(c.Line, "declare-fun needs a name, parameters and a sort")
+		}
+		if len(args[1].List) != 0 {
+			return false, errf(c.Line, "only 0-ary declare-fun is supported (uninterpreted functions are outside QF_BV)")
+		}
+		return false, s.declare(args[0].Atom, args[2], c.Line)
+
+	case "define-fun":
+		if len(args) != 4 || !args[0].IsAtom() || args[1].IsAtom() {
+			return false, errf(c.Line, "define-fun needs name, params, sort, body")
+		}
+		f := &fun{body: args[3]}
+		for _, p := range args[1].List {
+			if p.IsAtom() || len(p.List) != 2 || !p.List[0].IsAtom() {
+				return false, errf(p.Line, "bad parameter")
+			}
+			srt, err := ParseSort(p.List[1])
+			if err != nil {
+				return false, err
+			}
+			f.params = append(f.params, p.List[0].Atom)
+			f.sorts = append(f.sorts, srt)
+		}
+		ret, err := ParseSort(args[2])
+		if err != nil {
+			return false, err
+		}
+		f.ret = ret
+		if len(f.params) == 0 {
+			// A 0-ary definition is just a named term.
+			t, err := ParseTerm(s.B, s.Env, args[3])
+			if err != nil {
+				return false, err
+			}
+			if t.Sort != ret {
+				return false, errf(c.Line, "define-fun body sort %v, declared %v", t.Sort, ret)
+			}
+			s.Env.Bind(args[0].Atom, t)
+			return false, nil
+		}
+		s.Env.funs[args[0].Atom] = f
+		return false, nil
+
+	case "assert":
+		if len(args) != 1 {
+			return false, errf(c.Line, "assert takes one term")
+		}
+		t, err := ParseTerm(s.B, s.Env, args[0])
+		if err != nil {
+			return false, err
+		}
+		if !t.Sort.IsBool() {
+			return false, errf(c.Line, "asserted term is not Bool")
+		}
+		s.Solver.Assert(t)
+		return false, nil
+
+	case "check-sat":
+		res, err := s.Solver.Check(s.Opts)
+		if err != nil && res == smt.Unknown {
+			fmt.Fprintln(out, "unknown")
+			return false, nil
+		}
+		s.lastSat = res == smt.Sat
+		fmt.Fprintln(out, res.String())
+		return false, nil
+
+	case "get-model":
+		if !s.lastSat {
+			return false, errf(c.Line, "get-model before a sat check-sat")
+		}
+		fmt.Fprintln(out, "(")
+		ds := append([]*bv.Term{}, s.declared...)
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name })
+		for _, d := range ds {
+			v := s.Solver.ModelValue(d.Name, d.Sort)
+			fmt.Fprintf(out, "  (define-fun %s () %s %s)\n", d.Name, d.Sort, formatValue(v, d.Sort))
+		}
+		fmt.Fprintln(out, ")")
+		return false, nil
+
+	case "get-value":
+		if !s.lastSat {
+			return false, errf(c.Line, "get-value before a sat check-sat")
+		}
+		if len(args) != 1 || args[0].IsAtom() {
+			return false, errf(c.Line, "get-value takes a list of terms")
+		}
+		fmt.Fprintln(out, "(")
+		for _, te := range args[0].List {
+			t, err := ParseTerm(s.B, s.Env, te)
+			if err != nil {
+				return false, err
+			}
+			m := s.modelOfDeclared()
+			v := bv.Eval(t, m)
+			fmt.Fprintf(out, "  (%s %s)\n", te.String(), formatValue(v, t.Sort))
+		}
+		fmt.Fprintln(out, ")")
+		return false, nil
+	}
+	return false, errf(c.Line, "unknown command %q", name)
+}
+
+func (s *Script) declare(name string, sortExpr SExpr, line int) error {
+	srt, err := ParseSort(sortExpr)
+	if err != nil {
+		return err
+	}
+	if _, exists := s.Env.lookup(name); exists {
+		return errf(line, "symbol %q already declared", name)
+	}
+	v := s.B.Var(name, srt)
+	s.Env.Bind(name, v)
+	s.declared = append(s.declared, v)
+	return nil
+}
+
+// modelOfDeclared extracts the current model over all declared consts.
+func (s *Script) modelOfDeclared() bv.Model {
+	m := make(bv.Model, len(s.declared))
+	for _, d := range s.declared {
+		m[d.Name] = s.Solver.ModelValue(d.Name, d.Sort)
+	}
+	return m
+}
+
+func formatValue(v uint64, srt bv.Sort) string {
+	if srt.IsBool() {
+		if v == 1 {
+			return "true"
+		}
+		return "false"
+	}
+	return fmt.Sprintf("#x%0*x", (srt.Width+3)/4, v)
+}

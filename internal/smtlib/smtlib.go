@@ -1,0 +1,556 @@
+// Package smtlib implements a reader for the QF_BV fragment of the
+// SMT-LIB v2 language (the format of the paper's semantic
+// specifications, §2.3): an s-expression parser, a term translator to
+// internal/bv (including let-bindings, as used by specifications like
+// the paper's store32 example), and a script driver that executes
+// declare-const / define-fun / assert / check-sat / get-value against
+// internal/smt.
+//
+// This makes the solver stack usable as a miniature SMT solver
+// (cmd/bvsat) and lets semantic specifications live in text files.
+package smtlib
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"selgen/internal/bv"
+)
+
+// --- s-expressions ---
+
+// SExpr is either an atom (Atom != "") or a list.
+type SExpr struct {
+	Atom string
+	List []SExpr
+	// Line is the 1-based source line (for error messages).
+	Line int
+}
+
+// IsAtom reports whether the node is an atom.
+func (s *SExpr) IsAtom() bool { return s.Atom != "" }
+
+func (s *SExpr) String() string {
+	if s.IsAtom() {
+		return s.Atom
+	}
+	parts := make([]string, len(s.List))
+	for i := range s.List {
+		parts[i] = s.List[i].String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// SyntaxError reports a parse or translation failure with its line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("smtlib: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...interface{}) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() byte {
+	c := l.peek()
+	l.pos++
+	if c == '\n' {
+		l.line++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for {
+		c := l.peek()
+		switch {
+		case c == ';':
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.next()
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.next()
+		default:
+			return
+		}
+	}
+}
+
+func isAtomChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	}
+	return strings.IndexByte("~!@$%^&*_-+=<>.?/#", c) >= 0
+}
+
+// Parse reads all top-level s-expressions from src.
+func Parse(src string) ([]SExpr, error) {
+	l := &lexer{src: src, line: 1}
+	var out []SExpr
+	for {
+		l.skipSpace()
+		if l.peek() == 0 {
+			return out, nil
+		}
+		e, err := parseOne(l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+func parseOne(l *lexer) (SExpr, error) {
+	l.skipSpace()
+	line := l.line
+	switch c := l.peek(); {
+	case c == '(':
+		l.next()
+		node := SExpr{Line: line}
+		for {
+			l.skipSpace()
+			if l.peek() == 0 {
+				return node, errf(line, "unterminated list")
+			}
+			if l.peek() == ')' {
+				l.next()
+				if node.List == nil {
+					node.List = []SExpr{}
+				}
+				return node, nil
+			}
+			child, err := parseOne(l)
+			if err != nil {
+				return node, err
+			}
+			node.List = append(node.List, child)
+		}
+	case c == ')':
+		return SExpr{}, errf(line, "unexpected ')'")
+	case c == '"':
+		// string literal (used by echo / set-info)
+		l.next()
+		start := l.pos
+		for l.peek() != '"' && l.peek() != 0 {
+			l.next()
+		}
+		if l.peek() == 0 {
+			return SExpr{}, errf(line, "unterminated string literal")
+		}
+		str := l.src[start:l.pos]
+		l.next()
+		return SExpr{Atom: str, Line: line}, nil
+	case c == '|':
+		// quoted symbol
+		l.next()
+		start := l.pos
+		for l.peek() != '|' && l.peek() != 0 {
+			l.next()
+		}
+		if l.peek() == 0 {
+			return SExpr{}, errf(line, "unterminated quoted symbol")
+		}
+		sym := l.src[start:l.pos]
+		l.next()
+		return SExpr{Atom: sym, Line: line}, nil
+	case isAtomChar(c):
+		start := l.pos
+		for isAtomChar(l.peek()) {
+			l.next()
+		}
+		return SExpr{Atom: l.src[start:l.pos], Line: line}, nil
+	default:
+		return SExpr{}, errf(line, "unexpected character %q", c)
+	}
+}
+
+// --- sorts and terms ---
+
+// ParseSort translates a sort expression: Bool or (_ BitVec n).
+func ParseSort(e SExpr) (bv.Sort, error) {
+	if e.IsAtom() {
+		if e.Atom == "Bool" {
+			return bv.Bool, nil
+		}
+		return bv.Sort{}, errf(e.Line, "unknown sort %q", e.Atom)
+	}
+	if len(e.List) == 3 && e.List[0].Atom == "_" && e.List[1].Atom == "BitVec" {
+		n, err := strconv.Atoi(e.List[2].Atom)
+		if err != nil || n < 1 || n > 64 {
+			return bv.Sort{}, errf(e.Line, "bad bit-vector width %q", e.List[2].Atom)
+		}
+		return bv.BitVec(n), nil
+	}
+	return bv.Sort{}, errf(e.Line, "unknown sort %s", e.String())
+}
+
+// Env resolves symbols during term translation: declared constants,
+// let-bound names, and defined functions' parameters.
+type Env struct {
+	parent *Env
+	names  map[string]*bv.Term
+	funs   map[string]*fun
+}
+
+type fun struct {
+	params []string
+	sorts  []bv.Sort
+	body   SExpr
+	ret    bv.Sort
+}
+
+// NewEnv returns an empty top-level environment.
+func NewEnv() *Env {
+	return &Env{names: map[string]*bv.Term{}, funs: map[string]*fun{}}
+}
+
+func (e *Env) child() *Env {
+	return &Env{parent: e, names: map[string]*bv.Term{}, funs: map[string]*fun{}}
+}
+
+// Bind binds a name to a term in this scope.
+func (e *Env) Bind(name string, t *bv.Term) { e.names[name] = t }
+
+func (e *Env) lookup(name string) (*bv.Term, bool) {
+	for s := e; s != nil; s = s.parent {
+		if t, ok := s.names[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (e *Env) lookupFun(name string) (*fun, bool) {
+	for s := e; s != nil; s = s.parent {
+		if f, ok := s.funs[name]; ok {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// binary operator table: SMT-LIB name → builder method.
+var binOps = map[string]func(*bv.Builder, *bv.Term, *bv.Term) *bv.Term{
+	"bvadd":  (*bv.Builder).BvAdd,
+	"bvsub":  (*bv.Builder).BvSub,
+	"bvmul":  (*bv.Builder).BvMul,
+	"bvand":  (*bv.Builder).BvAnd,
+	"bvor":   (*bv.Builder).BvOr,
+	"bvxor":  (*bv.Builder).BvXor,
+	"bvshl":  (*bv.Builder).BvShl,
+	"bvlshr": (*bv.Builder).BvLshr,
+	"bvashr": (*bv.Builder).BvAshr,
+	"bvudiv": (*bv.Builder).BvUdiv,
+	"bvurem": (*bv.Builder).BvUrem,
+	"bvult":  (*bv.Builder).Ult,
+	"bvule":  (*bv.Builder).Ule,
+	"bvslt":  (*bv.Builder).Slt,
+	"bvsle":  (*bv.Builder).Sle,
+}
+
+// flipped comparisons.
+var flipOps = map[string]string{
+	"bvugt": "bvult", "bvuge": "bvule", "bvsgt": "bvslt", "bvsge": "bvsle",
+}
+
+// ParseTerm translates a term under env.
+func ParseTerm(b *bv.Builder, env *Env, e SExpr) (*bv.Term, error) {
+	if e.IsAtom() {
+		return parseAtom(b, env, e)
+	}
+	if len(e.List) == 0 {
+		return nil, errf(e.Line, "empty application")
+	}
+	// (_ bvN w) literals.
+	if lit, ok, err := parseBvLit(b, e); err != nil {
+		return nil, err
+	} else if ok {
+		return lit, nil
+	}
+	head := e.List[0]
+	args := e.List[1:]
+
+	// Indexed operators: ((_ extract h l) t), ((_ zero_extend n) t)...
+	if !head.IsAtom() {
+		if len(head.List) >= 2 && head.List[0].Atom == "_" {
+			return parseIndexed(b, env, head, args)
+		}
+		return nil, errf(e.Line, "bad application head %s", head.String())
+	}
+
+	switch head.Atom {
+	case "let":
+		if len(args) != 2 || args[0].IsAtom() {
+			return nil, errf(e.Line, "let needs bindings and a body")
+		}
+		scope := env.child()
+		for _, bind := range args[0].List {
+			if bind.IsAtom() || len(bind.List) != 2 || !bind.List[0].IsAtom() {
+				return nil, errf(bind.Line, "bad let binding")
+			}
+			// SMT-LIB let is parallel: evaluate in the outer scope.
+			val, err := ParseTerm(b, env, bind.List[1])
+			if err != nil {
+				return nil, err
+			}
+			scope.Bind(bind.List[0].Atom, val)
+		}
+		return ParseTerm(b, scope, args[1])
+
+	case "ite":
+		ts, err := parseAll(b, env, args, 3, e.Line, "ite")
+		if err != nil {
+			return nil, err
+		}
+		return b.Ite(ts[0], ts[1], ts[2]), nil
+
+	case "not":
+		ts, err := parseAll(b, env, args, 1, e.Line, "not")
+		if err != nil {
+			return nil, err
+		}
+		if ts[0].Sort.IsBool() {
+			return b.Not(ts[0]), nil
+		}
+		return nil, errf(e.Line, "not applied to non-Bool")
+
+	case "and", "or":
+		ts, err := parseAll(b, env, args, -1, e.Line, head.Atom)
+		if err != nil {
+			return nil, err
+		}
+		if head.Atom == "and" {
+			return b.And(ts...), nil
+		}
+		return b.Or(ts...), nil
+
+	case "xor":
+		ts, err := parseAll(b, env, args, 2, e.Line, "xor")
+		if err != nil {
+			return nil, err
+		}
+		return b.Xor(ts[0], ts[1]), nil
+
+	case "=>":
+		ts, err := parseAll(b, env, args, 2, e.Line, "=>")
+		if err != nil {
+			return nil, err
+		}
+		return b.Implies(ts[0], ts[1]), nil
+
+	case "=":
+		ts, err := parseAll(b, env, args, -1, e.Line, "=")
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) < 2 {
+			return nil, errf(e.Line, "= needs at least two arguments")
+		}
+		acc := b.Eq(ts[0], ts[1])
+		for i := 2; i < len(ts); i++ {
+			acc = b.And(acc, b.Eq(ts[i-1], ts[i]))
+		}
+		return acc, nil
+
+	case "distinct":
+		ts, err := parseAll(b, env, args, -1, e.Line, "distinct")
+		if err != nil {
+			return nil, err
+		}
+		return b.Distinct(ts...), nil
+
+	case "bvnot", "bvneg":
+		ts, err := parseAll(b, env, args, 1, e.Line, head.Atom)
+		if err != nil {
+			return nil, err
+		}
+		if head.Atom == "bvnot" {
+			return b.BvNot(ts[0]), nil
+		}
+		return b.BvNeg(ts[0]), nil
+
+	case "concat":
+		ts, err := parseAll(b, env, args, 2, e.Line, "concat")
+		if err != nil {
+			return nil, err
+		}
+		return b.Concat(ts[0], ts[1]), nil
+	}
+
+	if op, ok := binOps[head.Atom]; ok {
+		ts, err := parseAll(b, env, args, -1, e.Line, head.Atom)
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) < 2 {
+			return nil, errf(e.Line, "%s needs two arguments", head.Atom)
+		}
+		// Left-associative chaining for the arithmetic ops.
+		acc := ts[0]
+		for i := 1; i < len(ts); i++ {
+			acc = op(b, acc, ts[i])
+		}
+		return acc, nil
+	}
+	if base, ok := flipOps[head.Atom]; ok {
+		ts, err := parseAll(b, env, args, 2, e.Line, head.Atom)
+		if err != nil {
+			return nil, err
+		}
+		return binOps[base](b, ts[1], ts[0]), nil
+	}
+
+	// Defined function application.
+	if f, ok := env.lookupFun(head.Atom); ok {
+		if len(args) != len(f.params) {
+			return nil, errf(e.Line, "%s takes %d arguments, got %d", head.Atom, len(f.params), len(args))
+		}
+		scope := env.child()
+		for i, p := range f.params {
+			val, err := ParseTerm(b, env, args[i])
+			if err != nil {
+				return nil, err
+			}
+			if val.Sort != f.sorts[i] {
+				return nil, errf(args[i].Line, "argument %d of %s has sort %v, want %v",
+					i, head.Atom, val.Sort, f.sorts[i])
+			}
+			scope.Bind(p, val)
+		}
+		return ParseTerm(b, scope, f.body)
+	}
+
+	return nil, errf(e.Line, "unknown operator %q", head.Atom)
+}
+
+func parseAll(b *bv.Builder, env *Env, args []SExpr, want int, line int, what string) ([]*bv.Term, error) {
+	if want >= 0 && len(args) != want {
+		return nil, errf(line, "%s takes %d arguments, got %d", what, want, len(args))
+	}
+	out := make([]*bv.Term, len(args))
+	for i := range args {
+		t, err := ParseTerm(b, env, args[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+func parseIndexed(b *bv.Builder, env *Env, head SExpr, args []SExpr) (*bv.Term, error) {
+	name := head.List[1].Atom
+	switch name {
+	case "extract":
+		if len(head.List) != 4 || len(args) != 1 {
+			return nil, errf(head.Line, "extract needs two indices and one argument")
+		}
+		hi, err1 := strconv.Atoi(head.List[2].Atom)
+		lo, err2 := strconv.Atoi(head.List[3].Atom)
+		if err1 != nil || err2 != nil {
+			return nil, errf(head.Line, "bad extract indices")
+		}
+		t, err := ParseTerm(b, env, args[0])
+		if err != nil {
+			return nil, err
+		}
+		if hi >= t.Sort.Width || lo < 0 || hi < lo {
+			return nil, errf(head.Line, "extract [%d:%d] out of range for width %d", hi, lo, t.Sort.Width)
+		}
+		return b.Extract(t, hi, lo), nil
+	case "zero_extend", "sign_extend":
+		if len(head.List) != 3 || len(args) != 1 {
+			return nil, errf(head.Line, "%s needs one index and one argument", name)
+		}
+		n, err := strconv.Atoi(head.List[2].Atom)
+		if err != nil || n < 0 {
+			return nil, errf(head.Line, "bad %s index", name)
+		}
+		t, perr := ParseTerm(b, env, args[0])
+		if perr != nil {
+			return nil, perr
+		}
+		if t.Sort.Width+n > 64 {
+			return nil, errf(head.Line, "%s result exceeds 64 bits", name)
+		}
+		if name == "zero_extend" {
+			return b.Zext(t, t.Sort.Width+n), nil
+		}
+		return b.Sext(t, t.Sort.Width+n), nil
+	}
+	return nil, errf(head.Line, "unknown indexed operator %q", name)
+}
+
+func parseAtom(b *bv.Builder, env *Env, e SExpr) (*bv.Term, error) {
+	a := e.Atom
+	switch {
+	case a == "true":
+		return b.BoolConst(true), nil
+	case a == "false":
+		return b.BoolConst(false), nil
+	case strings.HasPrefix(a, "#x"):
+		v, err := strconv.ParseUint(a[2:], 16, 64)
+		if err != nil {
+			return nil, errf(e.Line, "bad hex literal %q", a)
+		}
+		return b.Const(v, 4*len(a[2:])), nil
+	case strings.HasPrefix(a, "#b"):
+		v, err := strconv.ParseUint(a[2:], 2, 64)
+		if err != nil {
+			return nil, errf(e.Line, "bad binary literal %q", a)
+		}
+		return b.Const(v, len(a[2:])), nil
+	}
+	if t, ok := env.lookup(a); ok {
+		return t, nil
+	}
+	// (_ bvN w) appears as a list, handled elsewhere; a bare decimal
+	// atom has no width and is rejected.
+	if _, err := strconv.ParseUint(a, 10, 64); err == nil {
+		return nil, errf(e.Line, "bare numeral %q has no bit-vector width (use #x.. or (_ bv%s w))", a, a)
+	}
+	return nil, errf(e.Line, "unbound symbol %q", a)
+}
+
+// parseBvLit handles (_ bvN w).
+func parseBvLit(b *bv.Builder, e SExpr) (*bv.Term, bool, error) {
+	if e.IsAtom() || len(e.List) != 3 || e.List[0].Atom != "_" ||
+		!strings.HasPrefix(e.List[1].Atom, "bv") {
+		return nil, false, nil
+	}
+	v, err1 := strconv.ParseUint(e.List[1].Atom[2:], 10, 64)
+	w, err2 := strconv.Atoi(e.List[2].Atom)
+	if err1 != nil || err2 != nil || w < 1 || w > 64 {
+		return nil, false, errf(e.Line, "bad bit-vector literal %s", e.String())
+	}
+	return b.Const(v, w), true, nil
+}
+
+// ReadAll is a convenience that parses src from a reader.
+func ReadAll(r io.Reader) ([]SExpr, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("smtlib: %w", err)
+	}
+	return Parse(string(data))
+}

@@ -1,0 +1,153 @@
+package spec
+
+import (
+	"testing"
+
+	"selgen/internal/ir"
+	"selgen/internal/isel"
+	"selgen/internal/x86"
+)
+
+const w = 8
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 11 {
+		t.Fatalf("CINT2000 has 11 C benchmarks, got %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.Funcs <= 0 || p.NodesPerFunc <= 0 || p.Reps <= 0 {
+			t.Fatalf("profile %s missing sizes", p.Name)
+		}
+		if len(p.Weights) == 0 {
+			t.Fatalf("profile %s has no weights", p.Name)
+		}
+	}
+	if _, err := ProfileByName("181.mcf"); err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if _, err := ProfileByName("999.nope"); err == nil {
+		t.Fatalf("unknown benchmark must error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("164.gzip")
+	a := Generate(p, w, ir.Ops(), 7)
+	b := Generate(p, w, ir.Ops(), 7)
+	if len(a) != p.Funcs || len(b) != p.Funcs {
+		t.Fatalf("func count: %d", len(a))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("generation not deterministic for %s", a[i].Name)
+		}
+	}
+	c := Generate(p, w, ir.Ops(), 8)
+	same := true
+	for i := range a {
+		if a[i].String() != c[i].String() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds should give different workloads")
+	}
+}
+
+func TestGeneratedGraphsVerifyAndRun(t *testing.T) {
+	for _, p := range Profiles() {
+		graphs := Generate(p, w, ir.Ops(), 42)
+		for _, g := range graphs {
+			if err := g.Verify(); err != nil {
+				t.Fatalf("%s: %v", g.Name, err)
+			}
+			if g.NumRealNodes() < p.NodesPerFunc {
+				t.Fatalf("%s: only %d nodes", g.Name, g.NumRealNodes())
+			}
+			params, mems := Inputs(g, 1, 2)
+			for i := range params {
+				if _, err := g.Exec(params[i], mems[i]); err != nil {
+					t.Fatalf("%s: exec: %v", g.Name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialSelectionAllBenchmarks is the end-to-end check: for
+// every benchmark, every graph, selected code (handwritten library)
+// must compute exactly what the IR computes.
+func TestDifferentialSelectionAllBenchmarks(t *testing.T) {
+	goals := x86.Registry()
+	for _, p := range Profiles() {
+		sel := isel.New(isel.HandwrittenLibrary(w), goals, true)
+		graphs := Generate(p, w, ir.Ops(), 99)
+		for _, g := range graphs {
+			prog, cov, err := sel.Select(g)
+			if err != nil {
+				t.Fatalf("%s: select: %v", g.Name, err)
+			}
+			if cov.Total == 0 {
+				t.Fatalf("%s: empty coverage", g.Name)
+			}
+			params, mems := Inputs(g, 3, 2)
+			for i := range params {
+				gr, err := g.Exec(params[i], mems[i])
+				if err != nil {
+					t.Fatalf("%s: graph exec: %v", g.Name, err)
+				}
+				pr, err := prog.Exec(params[i], mems[i])
+				if err != nil {
+					t.Fatalf("%s: prog exec: %v", g.Name, err)
+				}
+				for j := range gr.Values {
+					if gr.Values[j] != pr.Values[j] {
+						t.Fatalf("%s input %d: result %d differs: %#x vs %#x\n%s\n%s",
+							g.Name, i, j, gr.Values[j], pr.Values[j], g.String(), prog.String())
+					}
+				}
+				for a, v := range gr.Mem {
+					if pr.Mem[a] != v {
+						t.Fatalf("%s input %d: mem[%#x] differs: %#x vs %#x",
+							g.Name, i, a, v, pr.Mem[a])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHandwrittenBeatsFallbackOnCycles(t *testing.T) {
+	// The hand-tuned library must produce cheaper code than pure
+	// per-node fallback (it fuses loads, leas, immediates).
+	goals := x86.Registry()
+	hand := isel.New(isel.HandwrittenLibrary(w), goals, true)
+	bare := isel.HandwrittenLibrary(w)
+	bare.Rules = bare.Rules[:0]
+	fallback := isel.New(bare, goals, true)
+
+	handCycles, fbCycles := 0, 0
+	for _, p := range Profiles()[:3] {
+		for _, g := range Generate(p, w, ir.Ops(), 5) {
+			hp, _, err := hand.Select(g)
+			if err != nil {
+				t.Fatalf("hand: %v", err)
+			}
+			fp, _, err := fallback.Select(g)
+			if err != nil {
+				t.Fatalf("fallback: %v", err)
+			}
+			handCycles += hp.Cycles()
+			fbCycles += fp.Cycles()
+		}
+	}
+	if handCycles >= fbCycles {
+		t.Fatalf("handwritten (%d cycles) must beat fallback (%d cycles)", handCycles, fbCycles)
+	}
+}

@@ -1,0 +1,105 @@
+package testgen
+
+import (
+	"selgen/internal/isel"
+	"selgen/internal/pattern"
+	"selgen/internal/sem"
+	"selgen/internal/x86"
+)
+
+// canonicalBMIRules returns the BMI idioms mainstream compilers are
+// known to match: exactly the canonical textbook forms, none of the
+// algebraic variants (the paper's §7.4 example: both GCC and Clang
+// match x & (x-1) → blsr but miss x + (x | -x) → blsr).
+func canonicalBMIRules(width int) []pattern.Rule {
+	V := sem.KindValue
+	var rules []pattern.Rule
+
+	node := func(p *pattern.Pattern, op string, internals []uint64, args ...pattern.ValueRef) pattern.ValueRef {
+		p.Nodes = append(p.Nodes, pattern.Node{Op: op, Args: args, Internals: internals})
+		return pattern.ValueRef{Kind: pattern.RefNode, Index: len(p.Nodes) - 1}
+	}
+	arg := func(i int) pattern.ValueRef { return pattern.ValueRef{Kind: pattern.RefArg, Index: i} }
+
+	// blsr: x & (x - 1)
+	{
+		p := pattern.Pattern{ArgKinds: []sem.Kind{V}}
+		one := node(&p, "Const", []uint64{1})
+		sub := node(&p, "Sub", nil, arg(0), one)
+		res := node(&p, "And", nil, arg(0), sub)
+		p.Results = []pattern.ValueRef{res}
+		rules = append(rules, pattern.Rule{Goal: "blsr", GoalCost: 1, Pattern: p})
+	}
+	// blsi: x & -x
+	{
+		p := pattern.Pattern{ArgKinds: []sem.Kind{V}}
+		neg := node(&p, "Minus", nil, arg(0))
+		res := node(&p, "And", nil, arg(0), neg)
+		p.Results = []pattern.ValueRef{res}
+		rules = append(rules, pattern.Rule{Goal: "blsi", GoalCost: 1, Pattern: p})
+	}
+	// blsmsk: x ^ (x - 1)
+	{
+		p := pattern.Pattern{ArgKinds: []sem.Kind{V}}
+		one := node(&p, "Const", []uint64{1})
+		sub := node(&p, "Sub", nil, arg(0), one)
+		res := node(&p, "Eor", nil, arg(0), sub)
+		p.Results = []pattern.ValueRef{res}
+		rules = append(rules, pattern.Rule{Goal: "blsmsk", GoalCost: 1, Pattern: p})
+	}
+	// andn: ~x & y
+	{
+		p := pattern.Pattern{ArgKinds: []sem.Kind{V, V}}
+		not := node(&p, "Not", nil, arg(0))
+		res := node(&p, "And", nil, not, arg(1))
+		p.Results = []pattern.ValueRef{res}
+		rules = append(rules, pattern.Rule{Goal: "andn", GoalCost: 1, Pattern: p})
+	}
+	return rules
+}
+
+// dropGoals removes every rule whose goal matches one of the given
+// names.
+func dropGoals(lib *pattern.Library, goals ...string) {
+	drop := make(map[string]bool, len(goals))
+	for _, g := range goals {
+		drop[g] = true
+	}
+	kept := lib.Rules[:0]
+	for _, r := range lib.Rules {
+		if !drop[r.Goal] {
+			kept = append(kept, r)
+		}
+	}
+	lib.Rules = kept
+}
+
+// SimulatedGCC models GCC 7.2's matcher: the hand-tuned base plus the
+// canonical BMI idioms, but without the variable-count rotate
+// recognition on this shape and without scaled-index lea forms beyond
+// the plain ones.
+func SimulatedGCC(width int, goals map[string]*sem.Instr) Compiler {
+	lib := isel.HandwrittenLibrary(width)
+	lib.Rules = append(lib.Rules, canonicalBMIRules(width)...)
+	// GCC 7.2 misses the combined-sign-test forms: drop test.js/jns.
+	dropGoals(lib, "test.js", "test.jns")
+	return Compiler{Name: "gcc", Sel: isel.New(lib, goals, true)}
+}
+
+// SimulatedClang models Clang 5.0: canonical BMI idioms and sign
+// tests, but no rmw memory-destination fusion and no rotate-from-shifts
+// recognition at this IR level.
+func SimulatedClang(width int, goals map[string]*sem.Instr) Compiler {
+	lib := isel.HandwrittenLibrary(width)
+	lib.Rules = append(lib.Rules, canonicalBMIRules(width)...)
+	dropGoals(lib, "rol", "ror",
+		"add.md.b", "sub.md.b", "and.md.b", "or.md.b", "xor.md.b",
+		"neg.m.b", "not.m.b")
+	return Compiler{Name: "clang", Sel: isel.New(lib, goals, true)}
+}
+
+// Comparators returns the §7.4 comparator set.
+func Comparators(width int) []Compiler {
+	goals := x86.Registry()
+	return []Compiler{SimulatedGCC(width, goals), SimulatedClang(width, goals)}
+}

@@ -1,0 +1,192 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+
+	"selgen/internal/ir"
+	"selgen/internal/pattern"
+	"selgen/internal/sem"
+	"selgen/internal/x86"
+)
+
+const w = 8
+
+// blsrCanonical is x & (x-1); blsrVariant is x + (x | -x) — the §7.4
+// example both GCC and Clang miss.
+func blsrCanonical() pattern.Pattern {
+	return pattern.Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue},
+		Nodes: []pattern.Node{
+			{Op: "Const", Internals: []uint64{1}},
+			{Op: "Sub", Args: []pattern.ValueRef{
+				{Kind: pattern.RefArg, Index: 0}, {Kind: pattern.RefNode, Index: 0},
+			}},
+			{Op: "And", Args: []pattern.ValueRef{
+				{Kind: pattern.RefArg, Index: 0}, {Kind: pattern.RefNode, Index: 1},
+			}},
+		},
+		Results: []pattern.ValueRef{{Kind: pattern.RefNode, Index: 2}},
+	}
+}
+
+func blsrVariant() pattern.Pattern {
+	return pattern.Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue},
+		Nodes: []pattern.Node{
+			{Op: "Minus", Args: []pattern.ValueRef{{Kind: pattern.RefArg, Index: 0}}},
+			{Op: "Or", Args: []pattern.ValueRef{
+				{Kind: pattern.RefArg, Index: 0}, {Kind: pattern.RefNode, Index: 0},
+			}},
+			{Op: "Add", Args: []pattern.ValueRef{
+				{Kind: pattern.RefArg, Index: 0}, {Kind: pattern.RefNode, Index: 1},
+			}},
+		},
+		Results: []pattern.ValueRef{{Kind: pattern.RefNode, Index: 2}},
+	}
+}
+
+func TestInstantiateGraphRoundTrip(t *testing.T) {
+	p := blsrCanonical()
+	g, err := InstantiateGraph("t", w, ir.Ops(), &p)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// blsr(6) = 6 & 5 = 4.
+	res, err := g.Exec([]uint64{6}, nil)
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	if res.Values[0] != 4 {
+		t.Fatalf("blsr(6) = %d", res.Values[0])
+	}
+}
+
+func TestCSourceRendering(t *testing.T) {
+	p := blsrCanonical()
+	src := CSource("blsr_case", w, &p)
+	for _, want := range []string{"uint8_t", "blsr_case", "return"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("C source missing %q:\n%s", want, src)
+		}
+	}
+	// Memory patterns render with a mem parameter.
+	mp := pattern.Pattern{
+		ArgKinds: []sem.Kind{sem.KindMem, sem.KindValue},
+		Nodes: []pattern.Node{
+			{Op: "Load", Args: []pattern.ValueRef{
+				{Kind: pattern.RefArg, Index: 0}, {Kind: pattern.RefArg, Index: 1},
+			}},
+		},
+		Results: []pattern.ValueRef{
+			{Kind: pattern.RefNode, Index: 0, Result: 0},
+			{Kind: pattern.RefNode, Index: 0, Result: 1},
+		},
+	}
+	src = CSource("ld_case", w, &mp)
+	if !strings.Contains(src, "mem[") {
+		t.Fatalf("memory source missing load:\n%s", src)
+	}
+}
+
+func TestComparatorsOnBlsr(t *testing.T) {
+	lib := &pattern.Library{Width: w}
+	lib.Add(pattern.Rule{Goal: "blsr", GoalCost: 1, Pattern: blsrCanonical()})
+	lib.Add(pattern.Rule{Goal: "blsr", GoalCost: 1, Pattern: blsrVariant()})
+
+	rep, err := Run(lib, ir.Ops(), Comparators(w))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rep.Cases) != 2 {
+		t.Fatalf("cases: %d", len(rep.Cases))
+	}
+	// Canonical form supported by both; variant missed by both.
+	var canon, variant *CaseResult
+	for i := range rep.Cases {
+		if strings.Contains(rep.Cases[i].Canon, "Sub") {
+			canon = &rep.Cases[i]
+		} else {
+			variant = &rep.Cases[i]
+		}
+	}
+	if canon == nil || variant == nil {
+		t.Fatalf("case classification failed")
+	}
+	if !canon.Supported("gcc") || !canon.Supported("clang") {
+		t.Fatalf("canonical blsr must be supported: %+v", canon.InstrCount)
+	}
+	if variant.Supported("gcc") || variant.Supported("clang") {
+		t.Fatalf("blsr variant must be missed by both: %+v", variant.InstrCount)
+	}
+	if rep.MissingAll != 1 {
+		t.Fatalf("missing-by-all: %d", rep.MissingAll)
+	}
+	sum := rep.Summary()
+	if !strings.Contains(sum, "unsupported by gcc: 1") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+}
+
+func TestSimulatedCompilersDiffer(t *testing.T) {
+	// Clang misses the rmw fusion that GCC has; verify via a library
+	// containing the add.md pattern.
+	V, M := sem.KindValue, sem.KindMem
+	p := pattern.Pattern{
+		ArgKinds: []sem.Kind{M, V, V},
+		Nodes: []pattern.Node{
+			{Op: "Load", Args: []pattern.ValueRef{
+				{Kind: pattern.RefArg, Index: 0}, {Kind: pattern.RefArg, Index: 1},
+			}},
+			{Op: "Add", Args: []pattern.ValueRef{
+				{Kind: pattern.RefNode, Index: 0, Result: 1}, {Kind: pattern.RefArg, Index: 2},
+			}},
+			{Op: "Store", Args: []pattern.ValueRef{
+				{Kind: pattern.RefNode, Index: 0, Result: 0},
+				{Kind: pattern.RefArg, Index: 1},
+				{Kind: pattern.RefNode, Index: 1},
+			}},
+		},
+		Results: []pattern.ValueRef{{Kind: pattern.RefNode, Index: 2}},
+	}
+	lib := &pattern.Library{Width: w}
+	lib.Add(pattern.Rule{Goal: "add.md.b", GoalCost: 3, Pattern: p})
+	rep, err := Run(lib, ir.Ops(), Comparators(w))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	c := rep.Cases[0]
+	if !c.Supported("gcc") {
+		t.Fatalf("gcc should fuse rmw: %+v", c.InstrCount)
+	}
+	if c.Supported("clang") {
+		t.Fatalf("clang should miss rmw fusion: %+v", c.InstrCount)
+	}
+}
+
+func TestRunDeduplicates(t *testing.T) {
+	lib := &pattern.Library{Width: w}
+	lib.Add(pattern.Rule{Goal: "blsr", GoalCost: 1, Pattern: blsrCanonical()})
+	lib.Add(pattern.Rule{Goal: "blsr", GoalCost: 1, Pattern: blsrCanonical()})
+	rep, err := Run(lib, ir.Ops(), Comparators(w))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rep.Cases) != 1 {
+		t.Fatalf("duplicate patterns must collapse: %d cases", len(rep.Cases))
+	}
+}
+
+func TestRegistryCoversComparatorGoals(t *testing.T) {
+	goals := x86.Registry()
+	for _, c := range Comparators(w) {
+		for _, r := range c.Sel.Lib.Rules {
+			if goals[r.Goal] == nil {
+				t.Fatalf("%s library references unknown goal %q", c.Name, r.Goal)
+			}
+		}
+	}
+}

@@ -1,0 +1,730 @@
+// Package x86 defines semantic models (sem.Instr) for the 32-bit x86
+// integer instruction subset targeted by the reproduced paper (§7.1):
+// mov (load/store/immediate), the unary group (neg, not, inc, dec), the
+// binary group (add, and, lea, or, rol, ror, sar, shl, shr, sub, xor)
+// with register, immediate and memory-operand variants across the x86
+// addressing modes, the flags group (cmp/test + conditional jump per
+// condition code, jmp), and the BMI extensions used by the paper's
+// bmi experiment (andn, blsi, blsmsk, blsr, btc, btr, bts).
+//
+// All models are parametric in the word width W; shift and rotate
+// counts are masked modulo W, matching x86's count masking at W=32.
+package x86
+
+import (
+	"fmt"
+
+	"selgen/internal/bv"
+	"selgen/internal/sem"
+)
+
+// AM describes an x86 addressing mode: [base + index*scale + disp].
+type AM struct {
+	// Base selects a base register operand.
+	Base bool
+	// Index selects an index register operand (scaled by Scale).
+	Index bool
+	// Scale is 1, 2, 4 or 8; meaningful only with Index.
+	Scale int
+	// Disp selects a displacement immediate operand.
+	Disp bool
+}
+
+// String renders the mode compactly, e.g. "b+i*4+d".
+func (am AM) String() string {
+	s := ""
+	if am.Base {
+		s += "b"
+	}
+	if am.Index {
+		if s != "" {
+			s += "+"
+		}
+		s += fmt.Sprintf("i*%d", am.Scale)
+	}
+	if am.Disp {
+		if s != "" {
+			s += "+"
+		}
+		s += "d"
+	}
+	if s == "" {
+		s = "abs"
+	}
+	return s
+}
+
+// NumArgs returns how many operands the mode consumes.
+func (am AM) NumArgs() int {
+	n := 0
+	if am.Base {
+		n++
+	}
+	if am.Index {
+		n++
+	}
+	if am.Disp {
+		n++
+	}
+	return n
+}
+
+// ArgKinds returns the operand kinds: registers then displacement.
+func (am AM) ArgKinds() []sem.Kind {
+	var ks []sem.Kind
+	if am.Base {
+		ks = append(ks, sem.KindValue)
+	}
+	if am.Index {
+		ks = append(ks, sem.KindValue)
+	}
+	if am.Disp {
+		ks = append(ks, sem.KindImm)
+	}
+	return ks
+}
+
+// EffAddr builds the effective-address term from the mode's operands
+// (in ArgKinds order).
+func (am AM) EffAddr(ctx *sem.Ctx, args []*bv.Term) *bv.Term {
+	b := ctx.B
+	i := 0
+	addr := b.Const(0, ctx.Width)
+	if am.Base {
+		addr = args[i]
+		i++
+	}
+	if am.Index {
+		idx := args[i]
+		i++
+		sh := uint64(0)
+		switch am.Scale {
+		case 1:
+			sh = 0
+		case 2:
+			sh = 1
+		case 4:
+			sh = 2
+		case 8:
+			sh = 3
+		default:
+			panic(fmt.Sprintf("x86: bad scale %d", am.Scale))
+		}
+		scaled := b.BvShl(idx, b.Const(sh, ctx.Width))
+		addr = b.BvAdd(addr, scaled)
+	}
+	if am.Disp {
+		addr = b.BvAdd(addr, args[i])
+		i++
+	}
+	return addr
+}
+
+// StandardAMs returns the addressing modes exercised by the evaluation:
+// base; base+disp; base+index (each scale); base+index+disp (each
+// scale); index*scale+disp; disp (absolute).
+func StandardAMs() []AM {
+	ams := []AM{
+		{Base: true},
+		{Base: true, Disp: true},
+	}
+	for _, s := range []int{1, 2, 4, 8} {
+		ams = append(ams, AM{Base: true, Index: true, Scale: s})
+		ams = append(ams, AM{Base: true, Index: true, Scale: s, Disp: true})
+		ams = append(ams, AM{Index: true, Scale: s, Disp: true})
+	}
+	ams = append(ams, AM{Disp: true})
+	return ams
+}
+
+// BasicAMs returns the minimal mode set used by the paper's basic setup
+// (register-indirect only).
+func BasicAMs() []AM { return []AM{{Base: true}} }
+
+// maskCount masks a shift/rotate count modulo W (x86 count masking).
+func maskCount(ctx *sem.Ctx, c *bv.Term) *bv.Term {
+	return ctx.B.BvAnd(c, ctx.B.Const(uint64(ctx.Width-1), ctx.Width))
+}
+
+func rotl(ctx *sem.Ctx, x, c *bv.Term) *bv.Term {
+	b := ctx.B
+	w := b.Const(uint64(ctx.Width), ctx.Width)
+	cm := maskCount(ctx, c)
+	l := b.BvShl(x, cm)
+	r := b.BvLshr(x, b.BvAnd(b.BvSub(w, cm), b.Const(uint64(ctx.Width-1), ctx.Width)))
+	return b.BvOr(l, r)
+}
+
+func rotr(ctx *sem.Ctx, x, c *bv.Term) *bv.Term {
+	b := ctx.B
+	w := b.Const(uint64(ctx.Width), ctx.Width)
+	cm := maskCount(ctx, c)
+	r := b.BvLshr(x, cm)
+	l := b.BvShl(x, b.BvAnd(b.BvSub(w, cm), b.Const(uint64(ctx.Width-1), ctx.Width)))
+	return b.BvOr(r, l)
+}
+
+// reg2 builds a two-register ALU instruction.
+func reg2(name string, cost int, f func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term) *sem.Instr {
+	return &sem.Instr{
+		Name:    name,
+		Args:    []sem.Kind{sem.KindValue, sem.KindValue},
+		Results: []sem.Kind{sem.KindValue},
+		Cost:    cost,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{f(ctx, va[0], va[1])}}
+		},
+	}
+}
+
+// regImm builds a register-immediate ALU instruction.
+func regImm(name string, cost int, f func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term) *sem.Instr {
+	return &sem.Instr{
+		Name:    name,
+		Args:    []sem.Kind{sem.KindValue, sem.KindImm},
+		Results: []sem.Kind{sem.KindValue},
+		Cost:    cost,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{f(ctx, va[0], va[1])}}
+		},
+	}
+}
+
+// reg1 builds a one-register ALU instruction.
+func reg1(name string, cost int, f func(ctx *sem.Ctx, x *bv.Term) *bv.Term) *sem.Instr {
+	return &sem.Instr{
+		Name:    name,
+		Args:    []sem.Kind{sem.KindValue},
+		Results: []sem.Kind{sem.KindValue},
+		Cost:    cost,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{f(ctx, va[0])}}
+		},
+	}
+}
+
+// --- mov group ---
+
+// MovLoad returns mov r, [am]: M × am-operands → M × Value.
+func MovLoad(am AM) *sem.Instr {
+	args := append([]sem.Kind{sem.KindMem}, am.ArgKinds()...)
+	return &sem.Instr{
+		Name:    "mov.load." + am.String(),
+		Args:    args,
+		Results: []sem.Kind{sem.KindMem, sem.KindValue},
+		Cost:    2,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			addr := am.EffAddr(ctx, va[1:])
+			mOut, val, valid := ctx.Mem.Ld(va[0], addr)
+			return sem.Effect{Results: []*bv.Term{mOut, val}, MemOK: valid}
+		},
+	}
+}
+
+// MovStore returns mov [am], r: M × am-operands × Value → M.
+func MovStore(am AM) *sem.Instr {
+	args := append([]sem.Kind{sem.KindMem}, am.ArgKinds()...)
+	args = append(args, sem.KindValue)
+	return &sem.Instr{
+		Name:    "mov.store." + am.String(),
+		Args:    args,
+		Results: []sem.Kind{sem.KindMem},
+		Cost:    2,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			addr := am.EffAddr(ctx, va[1:len(va)-1])
+			mOut, valid := ctx.Mem.St(va[0], addr, va[len(va)-1])
+			return sem.Effect{Results: []*bv.Term{mOut}, MemOK: valid}
+		},
+	}
+}
+
+// MovImm returns mov r, imm: Imm → Value.
+func MovImm() *sem.Instr {
+	return &sem.Instr{
+		Name:    "mov.imm",
+		Args:    []sem.Kind{sem.KindImm},
+		Results: []sem.Kind{sem.KindValue},
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{va[0]}}
+		},
+	}
+}
+
+// --- unary group ---
+
+// Neg returns neg r.
+func Neg() *sem.Instr {
+	return reg1("neg", 1, func(ctx *sem.Ctx, x *bv.Term) *bv.Term { return ctx.B.BvNeg(x) })
+}
+
+// NotInstr returns not r.
+func NotInstr() *sem.Instr {
+	return reg1("not", 1, func(ctx *sem.Ctx, x *bv.Term) *bv.Term { return ctx.B.BvNot(x) })
+}
+
+// Inc returns inc r.
+func Inc() *sem.Instr {
+	return reg1("inc", 1, func(ctx *sem.Ctx, x *bv.Term) *bv.Term {
+		return ctx.B.BvAdd(x, ctx.B.Const(1, ctx.Width))
+	})
+}
+
+// Dec returns dec r.
+func Dec() *sem.Instr {
+	return reg1("dec", 1, func(ctx *sem.Ctx, x *bv.Term) *bv.Term {
+		return ctx.B.BvSub(x, ctx.B.Const(1, ctx.Width))
+	})
+}
+
+// UnaryMem returns the destination-addressing-mode variant of a unary
+// instruction (e.g. neg [am]): load, operate, store in place.
+func UnaryMem(base *sem.Instr, am AM) *sem.Instr {
+	args := append([]sem.Kind{sem.KindMem}, am.ArgKinds()...)
+	return &sem.Instr{
+		Name:    base.Name + ".m." + am.String(),
+		Args:    args,
+		Results: []sem.Kind{sem.KindMem},
+		Cost:    3,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			addr := am.EffAddr(ctx, va[1:])
+			m1, v, ldOK := ctx.Mem.Ld(va[0], addr)
+			eff := base.Apply(ctx, []*bv.Term{v}, nil)
+			m2, stOK := ctx.Mem.St(m1, addr, eff.Results[0])
+			return sem.Effect{
+				Results: []*bv.Term{m2},
+				Pre:     eff.Pre,
+				MemOK:   ctx.B.And(ldOK, stOK),
+			}
+		},
+	}
+}
+
+// --- binary group ---
+
+// AddInstr returns add r, r.
+func AddInstr() *sem.Instr {
+	return reg2("add", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvAdd(x, y) })
+}
+
+// SubInstr returns sub r, r.
+func SubInstr() *sem.Instr {
+	return reg2("sub", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvSub(x, y) })
+}
+
+// AndInstr returns and r, r.
+func AndInstr() *sem.Instr {
+	return reg2("and", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvAnd(x, y) })
+}
+
+// OrInstr returns or r, r.
+func OrInstr() *sem.Instr {
+	return reg2("or", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvOr(x, y) })
+}
+
+// XorInstr returns xor r, r.
+func XorInstr() *sem.Instr {
+	return reg2("xor", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvXor(x, y) })
+}
+
+// Imul returns imul r, r (two-operand form, truncating multiply).
+func Imul() *sem.Instr {
+	return reg2("imul", 3, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvMul(x, y) })
+}
+
+// Cmov returns cmovcc-style conditional move: Bool × r × r → r.
+func Cmov() *sem.Instr {
+	return &sem.Instr{
+		Name:    "cmov",
+		Args:    []sem.Kind{sem.KindBool, sem.KindValue, sem.KindValue},
+		Results: []sem.Kind{sem.KindValue},
+		Cost:    2,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{ctx.B.Ite(va[0], va[1], va[2])}}
+		},
+	}
+}
+
+// Sar returns sar r, cl (count masked mod W).
+func Sar() *sem.Instr {
+	return reg2("sar", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvAshr(x, maskCount(ctx, y))
+	})
+}
+
+// ShlInstr returns shl r, cl (count masked mod W).
+func ShlInstr() *sem.Instr {
+	return reg2("shl", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvShl(x, maskCount(ctx, y))
+	})
+}
+
+// ShrInstr returns shr r, cl (count masked mod W).
+func ShrInstr() *sem.Instr {
+	return reg2("shr", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvLshr(x, maskCount(ctx, y))
+	})
+}
+
+// Rol returns rol r, cl.
+func Rol() *sem.Instr { return reg2("rol", 1, rotl) }
+
+// Ror returns ror r, cl.
+func Ror() *sem.Instr { return reg2("ror", 1, rotr) }
+
+// Imm returns the register-immediate variant of a two-register
+// instruction (second operand an immediate).
+func Imm(base *sem.Instr) *sem.Instr {
+	ni := regImm(base.Name+".imm", base.CostOrDefault(), func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		eff := base.Apply(ctx, []*bv.Term{x, y}, nil)
+		return eff.Results[0]
+	})
+	return ni
+}
+
+// Lea returns lea r, [am]: pure address arithmetic, no memory access.
+func Lea(am AM) *sem.Instr {
+	return &sem.Instr{
+		Name:    "lea." + am.String(),
+		Args:    am.ArgKinds(),
+		Results: []sem.Kind{sem.KindValue},
+		Cost:    1,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{am.EffAddr(ctx, va)}}
+		},
+	}
+}
+
+// BinMemSrc returns the source-memory variant op r, [am]:
+// M × am-operands × Value → M × Value (Example 2 of the paper).
+func BinMemSrc(base *sem.Instr, am AM) *sem.Instr {
+	args := append([]sem.Kind{sem.KindMem}, am.ArgKinds()...)
+	args = append(args, sem.KindValue)
+	return &sem.Instr{
+		Name:    base.Name + ".ms." + am.String(),
+		Args:    args,
+		Results: []sem.Kind{sem.KindMem, sem.KindValue},
+		Cost:    2,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			addr := am.EffAddr(ctx, va[1:len(va)-1])
+			m1, mval, ldOK := ctx.Mem.Ld(va[0], addr)
+			eff := base.Apply(ctx, []*bv.Term{va[len(va)-1], mval}, nil)
+			return sem.Effect{
+				Results: []*bv.Term{m1, eff.Results[0]},
+				Pre:     eff.Pre,
+				MemOK:   ldOK,
+			}
+		},
+	}
+}
+
+// BinMemDst returns the destination-memory variant op [am], r:
+// M × am-operands × Value → M.
+func BinMemDst(base *sem.Instr, am AM) *sem.Instr {
+	args := append([]sem.Kind{sem.KindMem}, am.ArgKinds()...)
+	args = append(args, sem.KindValue)
+	return &sem.Instr{
+		Name:    base.Name + ".md." + am.String(),
+		Args:    args,
+		Results: []sem.Kind{sem.KindMem},
+		Cost:    3,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			addr := am.EffAddr(ctx, va[1:len(va)-1])
+			m1, mval, ldOK := ctx.Mem.Ld(va[0], addr)
+			eff := base.Apply(ctx, []*bv.Term{mval, va[len(va)-1]}, nil)
+			m2, stOK := ctx.Mem.St(m1, addr, eff.Results[0])
+			return sem.Effect{
+				Results: []*bv.Term{m2},
+				Pre:     eff.Pre,
+				MemOK:   ctx.B.And(ldOK, stOK),
+			}
+		},
+	}
+}
+
+// --- flags group ---
+
+// CC is an x86 condition code.
+type CC int
+
+// Condition codes (subset relevant to integer compare-and-branch).
+const (
+	CCE CC = iota
+	CCNE
+	CCL
+	CCLE
+	CCG
+	CCGE
+	CCB
+	CCBE
+	CCA
+	CCAE
+	CCS
+	CCNS
+	// NumCC bounds the enumeration.
+	NumCC
+)
+
+var ccNames = []string{"e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae", "s", "ns"}
+
+func (c CC) String() string { return ccNames[c] }
+
+// holdsAfterCmp returns the truth of cc after cmp x, y (flags of x-y).
+func (c CC) holdsAfterCmp(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+	b := ctx.B
+	switch c {
+	case CCE:
+		return b.Eq(x, y)
+	case CCNE:
+		return b.Not(b.Eq(x, y))
+	case CCL:
+		return b.Slt(x, y)
+	case CCLE:
+		return b.Sle(x, y)
+	case CCG:
+		return b.Slt(y, x)
+	case CCGE:
+		return b.Sle(y, x)
+	case CCB:
+		return b.Ult(x, y)
+	case CCBE:
+		return b.Ule(x, y)
+	case CCA:
+		return b.Ult(y, x)
+	case CCAE:
+		return b.Ule(y, x)
+	case CCS:
+		// Sign flag of x - y.
+		return b.Slt(b.BvSub(x, y), b.Const(0, ctx.Width))
+	case CCNS:
+		return b.Sle(b.Const(0, ctx.Width), b.BvSub(x, y))
+	}
+	panic("x86: bad condition code")
+}
+
+// CmpJcc returns the fused compare-and-branch goal cmp x, y; jcc: its
+// single boolean result is the branch-taken predicate (§4.2; the
+// complementary fall-through output carries no extra information and is
+// omitted, see DESIGN.md).
+func CmpJcc(cc CC) *sem.Instr {
+	return &sem.Instr{
+		Name:    "cmp.j" + cc.String(),
+		Args:    []sem.Kind{sem.KindValue, sem.KindValue},
+		Results: []sem.Kind{sem.KindBool},
+		Cost:    2,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{cc.holdsAfterCmp(ctx, va[0], va[1])}}
+		},
+	}
+}
+
+// CmpImmJcc returns cmp x, imm; jcc.
+func CmpImmJcc(cc CC) *sem.Instr {
+	in := CmpJcc(cc)
+	return &sem.Instr{
+		Name:    "cmp.imm.j" + cc.String(),
+		Args:    []sem.Kind{sem.KindValue, sem.KindImm},
+		Results: []sem.Kind{sem.KindBool},
+		Cost:    2,
+		Sem:     in.Sem,
+	}
+}
+
+// TestJcc returns the fused test x, y; jcc goal: condition over x & y
+// compared with zero. Only e, ne, s, ns are meaningful after test.
+func TestJcc(cc CC) *sem.Instr {
+	return &sem.Instr{
+		Name:    "test.j" + cc.String(),
+		Args:    []sem.Kind{sem.KindValue, sem.KindValue},
+		Results: []sem.Kind{sem.KindBool},
+		Cost:    2,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			b := ctx.B
+			v := b.BvAnd(va[0], va[1])
+			z := b.Const(0, ctx.Width)
+			var res *bv.Term
+			switch cc {
+			case CCE:
+				res = b.Eq(v, z)
+			case CCNE:
+				res = b.Not(b.Eq(v, z))
+			case CCS:
+				res = b.Slt(v, z)
+			case CCNS:
+				res = b.Sle(z, v)
+			default:
+				panic(fmt.Sprintf("x86: test.j%s is not a meaningful pairing", cc))
+			}
+			return sem.Effect{Results: []*bv.Term{res}}
+		},
+	}
+}
+
+// TestCCs lists the condition codes meaningful after test.
+func TestCCs() []CC { return []CC{CCE, CCNE, CCS, CCNS} }
+
+// Jmp returns the unconditional jump goal: one always-true boolean.
+func Jmp() *sem.Instr {
+	return &sem.Instr{
+		Name:    "jmp",
+		Args:    nil,
+		Results: []sem.Kind{sem.KindBool},
+		Cost:    1,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{ctx.B.BoolConst(true)}}
+		},
+	}
+}
+
+// --- BMI group (bit-manipulation extensions, paper §7.4 / A.4 bmi.sh) ---
+
+// Andn returns andn: ~x & y.
+func Andn() *sem.Instr {
+	return reg2("andn", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvAnd(ctx.B.BvNot(x), y)
+	})
+}
+
+// Blsi returns blsi: isolate lowest set bit, x & -x.
+func Blsi() *sem.Instr {
+	return reg1("blsi", 1, func(ctx *sem.Ctx, x *bv.Term) *bv.Term {
+		return ctx.B.BvAnd(x, ctx.B.BvNeg(x))
+	})
+}
+
+// Blsmsk returns blsmsk: mask up to lowest set bit, x ^ (x-1).
+func Blsmsk() *sem.Instr {
+	return reg1("blsmsk", 1, func(ctx *sem.Ctx, x *bv.Term) *bv.Term {
+		return ctx.B.BvXor(x, ctx.B.BvSub(x, ctx.B.Const(1, ctx.Width)))
+	})
+}
+
+// Blsr returns blsr: reset lowest set bit, x & (x-1).
+func Blsr() *sem.Instr {
+	return reg1("blsr", 1, func(ctx *sem.Ctx, x *bv.Term) *bv.Term {
+		return ctx.B.BvAnd(x, ctx.B.BvSub(x, ctx.B.Const(1, ctx.Width)))
+	})
+}
+
+func bitAt(ctx *sem.Ctx, y *bv.Term) *bv.Term {
+	return ctx.B.BvShl(ctx.B.Const(1, ctx.Width), maskCount(ctx, y))
+}
+
+// Btc returns btc: complement bit y of x.
+func Btc() *sem.Instr {
+	return reg2("btc", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvXor(x, bitAt(ctx, y))
+	})
+}
+
+// Btr returns btr: reset bit y of x.
+func Btr() *sem.Instr {
+	return reg2("btr", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvAnd(x, ctx.B.BvNot(bitAt(ctx, y)))
+	})
+}
+
+// Bts returns bts: set bit y of x.
+func Bts() *sem.Instr {
+	return reg2("bts", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvOr(x, bitAt(ctx, y))
+	})
+}
+
+// BMIGroup returns the bit-manipulation goals of the bmi experiment.
+func BMIGroup() []*sem.Instr {
+	return []*sem.Instr{Andn(), Blsi(), Blsmsk(), Blsr(), Btc(), Btr(), Bts()}
+}
+
+// BasicGroup returns the paper's basic setup: register variants of mov,
+// neg, not, and, lea, or, sar, shl, shr, sub, xor, cmp, jcc, jmp
+// (§7.1; jcc is fused into cmp.jcc per condition code).
+func BasicGroup() []*sem.Instr {
+	am := AM{Base: true}
+	goals := []*sem.Instr{
+		MovLoad(am), MovStore(am), MovImm(),
+		Neg(), NotInstr(),
+		AndInstr(), Lea(AM{Base: true, Index: true, Scale: 1}),
+		OrInstr(), Sar(), ShlInstr(), ShrInstr(), SubInstr(), XorInstr(),
+		AddInstr(),
+		Jmp(),
+	}
+	for _, cc := range []CC{CCE, CCNE, CCL, CCLE, CCB, CCBE, CCS, CCNS} {
+		goals = append(goals, CmpJcc(cc))
+	}
+	return goals
+}
+
+// LoadStoreGroup returns the mov variants over the given modes.
+func LoadStoreGroup(ams []AM) []*sem.Instr {
+	goals := []*sem.Instr{MovImm()}
+	for _, am := range ams {
+		goals = append(goals, MovLoad(am), MovStore(am))
+	}
+	return goals
+}
+
+// UnaryGroup returns neg/not/inc/dec with register and memory variants.
+func UnaryGroup(ams []AM) []*sem.Instr {
+	bases := []*sem.Instr{Neg(), NotInstr(), Inc(), Dec()}
+	goals := append([]*sem.Instr{}, bases...)
+	for _, base := range bases {
+		for _, am := range ams {
+			goals = append(goals, UnaryMem(base, am))
+		}
+	}
+	return goals
+}
+
+// BinaryGroup returns the binary-group goals: register, immediate,
+// lea over modes, rotates, shifts, and memory variants.
+func BinaryGroup(ams []AM) []*sem.Instr {
+	bases := []*sem.Instr{
+		AddInstr(), AndInstr(), OrInstr(), SubInstr(), XorInstr(),
+	}
+	goals := append([]*sem.Instr{}, bases...)
+	goals = append(goals, Rol(), Ror(), Sar(), ShlInstr(), ShrInstr())
+	for _, b := range bases {
+		goals = append(goals, Imm(b))
+	}
+	for _, am := range ams {
+		goals = append(goals, Lea(am))
+	}
+	for _, b := range bases {
+		for _, am := range ams {
+			goals = append(goals, BinMemSrc(b, am), BinMemDst(b, am))
+		}
+	}
+	return goals
+}
+
+// Registry returns every machine instruction this package can model,
+// keyed by name, over the standard addressing modes. Used by the
+// instruction selectors and simulators to resolve rule-library goal
+// names back to semantic models.
+func Registry() map[string]*sem.Instr {
+	reg := make(map[string]*sem.Instr)
+	add := func(ins ...*sem.Instr) {
+		for _, in := range ins {
+			reg[in.Name] = in
+		}
+	}
+	add(Imul(), Cmov())
+	add(BMIGroup()...)
+	add(LoadStoreGroup(StandardAMs())...)
+	add(UnaryGroup(StandardAMs())...)
+	add(BinaryGroup(StandardAMs())...)
+	add(FlagsGroup()...)
+	return reg
+}
+
+// FlagsGroup returns the cmp/test/jmp goals.
+func FlagsGroup() []*sem.Instr {
+	goals := []*sem.Instr{Jmp()}
+	for cc := CCE; cc < NumCC; cc++ {
+		goals = append(goals, CmpJcc(cc), CmpImmJcc(cc))
+	}
+	for _, cc := range TestCCs() {
+		goals = append(goals, TestJcc(cc))
+	}
+	return goals
+}

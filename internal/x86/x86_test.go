@@ -1,0 +1,345 @@
+package x86
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"selgen/internal/bv"
+	"selgen/internal/memmodel"
+	"selgen/internal/sem"
+)
+
+const w = 8
+
+func evalReg2(t *testing.T, in *sem.Instr, x, y uint64) uint64 {
+	t.Helper()
+	b := bv.NewBuilder()
+	ctx := &sem.Ctx{B: b, Width: w}
+	eff := in.Apply(ctx, []*bv.Term{b.Const(x, w), b.Const(y, w)}, nil)
+	return bv.Eval(eff.Results[0], nil)
+}
+
+func evalReg1(t *testing.T, in *sem.Instr, x uint64) uint64 {
+	t.Helper()
+	b := bv.NewBuilder()
+	ctx := &sem.Ctx{B: b, Width: w}
+	eff := in.Apply(ctx, []*bv.Term{b.Const(x, w)}, nil)
+	return bv.Eval(eff.Results[0], nil)
+}
+
+func TestALUSemantics(t *testing.T) {
+	if evalReg2(t, AddInstr(), 200, 100) != 44 {
+		t.Errorf("add wraps")
+	}
+	if evalReg2(t, SubInstr(), 5, 7) != 254 {
+		t.Errorf("sub wraps")
+	}
+	if evalReg2(t, AndInstr(), 0xf0, 0x3c) != 0x30 {
+		t.Errorf("and")
+	}
+	if evalReg2(t, OrInstr(), 0xf0, 0x0f) != 0xff {
+		t.Errorf("or")
+	}
+	if evalReg2(t, XorInstr(), 0xff, 0x0f) != 0xf0 {
+		t.Errorf("xor")
+	}
+	if evalReg1(t, Neg(), 1) != 255 {
+		t.Errorf("neg")
+	}
+	if evalReg1(t, NotInstr(), 0x0f) != 0xf0 {
+		t.Errorf("not")
+	}
+	if evalReg1(t, Inc(), 255) != 0 {
+		t.Errorf("inc wraps")
+	}
+	if evalReg1(t, Dec(), 0) != 255 {
+		t.Errorf("dec wraps")
+	}
+}
+
+func TestShiftCountMasking(t *testing.T) {
+	// x86 masks the count mod W: shifting by W leaves the value intact.
+	if evalReg2(t, ShlInstr(), 0x5a, 8) != 0x5a {
+		t.Errorf("shl by W must be identity (count masked)")
+	}
+	if evalReg2(t, ShrInstr(), 0x5a, 16) != 0x5a {
+		t.Errorf("shr by 2W must be identity")
+	}
+	if evalReg2(t, Sar(), 0x80, 7) != 0xff {
+		t.Errorf("sar sign fill")
+	}
+	if evalReg2(t, ShlInstr(), 1, 7) != 0x80 {
+		t.Errorf("plain shl")
+	}
+}
+
+func TestRotates(t *testing.T) {
+	f := func(x uint8, c uint8) bool {
+		want := uint64(bits.RotateLeft8(x, int(c)))
+		got := evalReg2(t, Rol(), uint64(x), uint64(c))
+		wantR := uint64(bits.RotateLeft8(x, -int(c)))
+		gotR := evalReg2(t, Ror(), uint64(x), uint64(c))
+		return got == want && gotR == wantR
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBMISemantics(t *testing.T) {
+	if evalReg2(t, Andn(), 0b1100, 0b1010) != 0b0010 {
+		t.Errorf("andn")
+	}
+	if evalReg1(t, Blsi(), 0b0110) != 0b0010 {
+		t.Errorf("blsi isolates lowest bit")
+	}
+	if evalReg1(t, Blsr(), 0b0110) != 0b0100 {
+		t.Errorf("blsr clears lowest bit")
+	}
+	if evalReg1(t, Blsmsk(), 0b01000) != 0b01111 {
+		t.Errorf("blsmsk")
+	}
+	if evalReg2(t, Btc(), 0b0001, 0) != 0b0000 {
+		t.Errorf("btc complements")
+	}
+	if evalReg2(t, Btr(), 0b1111, 1) != 0b1101 {
+		t.Errorf("btr resets")
+	}
+	if evalReg2(t, Bts(), 0b0000, 3) != 0b1000 {
+		t.Errorf("bts sets")
+	}
+	// Bit index masked mod W.
+	if evalReg2(t, Bts(), 0, 8) != 1 {
+		t.Errorf("bt index masked mod W")
+	}
+}
+
+func TestAMStringAndArgs(t *testing.T) {
+	cases := []struct {
+		am   AM
+		str  string
+		args int
+	}{
+		{AM{Base: true}, "b", 1},
+		{AM{Base: true, Disp: true}, "b+d", 2},
+		{AM{Base: true, Index: true, Scale: 4}, "b+i*4", 2},
+		{AM{Base: true, Index: true, Scale: 2, Disp: true}, "b+i*2+d", 3},
+		{AM{Index: true, Scale: 8, Disp: true}, "i*8+d", 2},
+		{AM{Disp: true}, "d", 1},
+	}
+	for _, c := range cases {
+		if c.am.String() != c.str {
+			t.Errorf("AM string: got %q want %q", c.am.String(), c.str)
+		}
+		if c.am.NumArgs() != c.args {
+			t.Errorf("AM %v args: got %d want %d", c.am, c.am.NumArgs(), c.args)
+		}
+		if len(c.am.ArgKinds()) != c.args {
+			t.Errorf("AM %v ArgKinds length mismatch", c.am)
+		}
+	}
+}
+
+func TestEffAddr(t *testing.T) {
+	b := bv.NewBuilder()
+	ctx := &sem.Ctx{B: b, Width: w}
+	am := AM{Base: true, Index: true, Scale: 4, Disp: true}
+	addr := am.EffAddr(ctx, []*bv.Term{b.Const(0x10, w), b.Const(3, w), b.Const(2, w)})
+	if got := bv.Eval(addr, nil); got != 0x10+3*4+2 {
+		t.Fatalf("effaddr = %#x", got)
+	}
+}
+
+func TestMovLoadStoreRoundTrip(t *testing.T) {
+	b := bv.NewBuilder()
+	p := b.Var("p", bv.BitVec(w))
+	model := memmodel.New(b, w, []*bv.Term{p})
+	ctx := &sem.Ctx{B: b, Width: w, Mem: model}
+	am := AM{Base: true}
+
+	st := MovStore(am)
+	ld := MovLoad(am)
+	m0 := b.Var("m0", model.Sort())
+	effSt := st.Apply(ctx, []*bv.Term{m0, p, b.Const(0x99, w)}, nil)
+	effLd := ld.Apply(ctx, []*bv.Term{effSt.Results[0], p}, nil)
+	env := bv.Model{"p": 7, "m0": 0}
+	if bv.Eval(effLd.Results[1], env) != 0x99 {
+		t.Fatalf("mov round trip failed")
+	}
+}
+
+func TestUnaryMemNegatesInPlace(t *testing.T) {
+	b := bv.NewBuilder()
+	p := b.Var("p", bv.BitVec(w))
+	model := memmodel.New(b, w, []*bv.Term{p})
+	ctx := &sem.Ctx{B: b, Width: w, Mem: model}
+
+	negm := UnaryMem(Neg(), AM{Base: true})
+	m0 := b.Var("m0", model.Sort())
+	eff := negm.Apply(ctx, []*bv.Term{m0, p}, nil)
+	// m0 holds 5 in slot 0 → result cell must hold -5 = 0xfb.
+	env := bv.Model{"p": 0x20, "m0": 5}
+	out := bv.Eval(model.Contents(eff.Results[0], 0), env)
+	if out != 0xfb {
+		t.Fatalf("neg [p]: cell = %#x, want 0xfb", out)
+	}
+	// The in-place op loads, so the access flag must be set.
+	if bv.Eval(model.Flag(eff.Results[0], 0), env) != 1 {
+		t.Fatalf("in-place op must set the access flag (it loads)")
+	}
+}
+
+func TestBinMemSrcMatchesPaperExample(t *testing.T) {
+	// add r, [p] — Example 2 of the paper: 3 args (M, ptr, reg),
+	// 2 results (M, sum).
+	in := BinMemSrc(AddInstr(), AM{Base: true})
+	if len(in.Args) != 3 || len(in.Results) != 2 {
+		t.Fatalf("interface: %d args %d results", len(in.Args), len(in.Results))
+	}
+	b := bv.NewBuilder()
+	p := b.Var("p", bv.BitVec(w))
+	model := memmodel.New(b, w, []*bv.Term{p})
+	ctx := &sem.Ctx{B: b, Width: w, Mem: model}
+	m0 := b.Var("m0", model.Sort())
+	eff := in.Apply(ctx, []*bv.Term{m0, p, b.Const(30, w)}, nil)
+	env := bv.Model{"p": 1, "m0": 12} // cell holds 12
+	if got := bv.Eval(eff.Results[1], env); got != 42 {
+		t.Fatalf("add r,[p]: got %d want 42", got)
+	}
+}
+
+func TestBinMemDstReadsModifiesWrites(t *testing.T) {
+	in := BinMemDst(SubInstr(), AM{Base: true})
+	b := bv.NewBuilder()
+	p := b.Var("p", bv.BitVec(w))
+	model := memmodel.New(b, w, []*bv.Term{p})
+	ctx := &sem.Ctx{B: b, Width: w, Mem: model}
+	m0 := b.Var("m0", model.Sort())
+	eff := in.Apply(ctx, []*bv.Term{m0, p, b.Const(2, w)}, nil)
+	env := bv.Model{"p": 1, "m0": 10}
+	if got := bv.Eval(model.Contents(eff.Results[0], 0), env); got != 8 {
+		t.Fatalf("sub [p], 2: cell = %d, want 8", got)
+	}
+}
+
+func TestConditionCodes(t *testing.T) {
+	b := bv.NewBuilder()
+	ctx := &sem.Ctx{B: b, Width: w}
+	type tc struct {
+		cc   CC
+		x, y uint64
+		want uint64
+	}
+	cases := []tc{
+		{CCE, 3, 3, 1}, {CCE, 3, 4, 0},
+		{CCNE, 3, 4, 1},
+		{CCL, 0xff, 0, 1}, // -1 < 0 signed
+		{CCB, 0xff, 0, 0}, // 255 < 0 unsigned is false
+		{CCA, 0xff, 0, 1}, // 255 > 0 unsigned
+		{CCG, 1, 0xff, 1}, // 1 > -1 signed
+		{CCGE, 5, 5, 1},
+		{CCLE, 5, 5, 1},
+		{CCBE, 4, 5, 1},
+		{CCAE, 5, 5, 1},
+		{CCS, 3, 5, 1},  // 3-5 < 0
+		{CCNS, 5, 3, 1}, // 5-3 >= 0
+	}
+	for _, c := range cases {
+		in := CmpJcc(c.cc)
+		eff := in.Apply(ctx, []*bv.Term{b.Const(c.x, w), b.Const(c.y, w)}, nil)
+		if got := bv.Eval(eff.Results[0], nil); got != c.want {
+			t.Errorf("cmp.j%s(%d,%d) = %d, want %d", c.cc, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestTestJcc(t *testing.T) {
+	b := bv.NewBuilder()
+	ctx := &sem.Ctx{B: b, Width: w}
+	te := TestJcc(CCE)
+	eff := te.Apply(ctx, []*bv.Term{b.Const(0b1100, w), b.Const(0b0011, w)}, nil)
+	if bv.Eval(eff.Results[0], nil) != 1 {
+		t.Errorf("test: disjoint masks give ZF=1")
+	}
+	ts := TestJcc(CCS)
+	eff = ts.Apply(ctx, []*bv.Term{b.Const(0x80, w), b.Const(0xff, w)}, nil)
+	if bv.Eval(eff.Results[0], nil) != 1 {
+		t.Errorf("test sign: 0x80 & 0xff has the sign bit")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("test.jl must panic (not meaningful)")
+		}
+	}()
+	TestJcc(CCL).Apply(ctx, []*bv.Term{b.Const(0, w), b.Const(0, w)}, nil)
+}
+
+func TestJmpAlwaysTaken(t *testing.T) {
+	b := bv.NewBuilder()
+	ctx := &sem.Ctx{B: b, Width: w}
+	eff := Jmp().Apply(ctx, nil, nil)
+	if bv.Eval(eff.Results[0], nil) != 1 {
+		t.Fatalf("jmp must be taken")
+	}
+}
+
+func TestGroupInventories(t *testing.T) {
+	basic := BasicGroup()
+	if len(basic) < 20 {
+		t.Fatalf("basic group too small: %d", len(basic))
+	}
+	names := map[string]bool{}
+	for _, g := range basic {
+		if names[g.Name] {
+			t.Fatalf("duplicate goal %q in basic group", g.Name)
+		}
+		names[g.Name] = true
+	}
+	ams := StandardAMs()
+	if len(ams) != 15 {
+		t.Fatalf("standard AMs: %d, want 15", len(ams))
+	}
+	ls := LoadStoreGroup(ams)
+	if len(ls) != 1+2*len(ams) {
+		t.Fatalf("load/store group size %d", len(ls))
+	}
+	un := UnaryGroup(BasicAMs())
+	if len(un) != 4+4*1 {
+		t.Fatalf("unary group size %d", len(un))
+	}
+	bin := BinaryGroup(BasicAMs())
+	if len(bin) < 20 {
+		t.Fatalf("binary group too small: %d", len(bin))
+	}
+	fl := FlagsGroup()
+	if len(fl) != 1+2*int(NumCC)+len(TestCCs()) {
+		t.Fatalf("flags group size %d", len(fl))
+	}
+	if len(BMIGroup()) != 7 {
+		t.Fatalf("bmi group size")
+	}
+}
+
+func TestImmVariantSemantics(t *testing.T) {
+	addi := Imm(AddInstr())
+	if addi.Args[1] != sem.KindImm {
+		t.Fatalf("imm variant second arg must be KindImm")
+	}
+	if evalReg2(t, addi, 40, 2) != 42 {
+		t.Fatalf("add.imm semantics")
+	}
+}
+
+func TestLeaIsPureArithmetic(t *testing.T) {
+	lea := Lea(AM{Base: true, Index: true, Scale: 4, Disp: true})
+	if lea.AccessesMemory() {
+		t.Fatalf("lea must not access memory")
+	}
+	b := bv.NewBuilder()
+	ctx := &sem.Ctx{B: b, Width: w}
+	eff := lea.Apply(ctx, []*bv.Term{b.Const(0x10, w), b.Const(3, w), b.Const(2, w)}, nil)
+	if bv.Eval(eff.Results[0], nil) != 0x1e {
+		t.Fatalf("lea value")
+	}
+}
