@@ -306,3 +306,49 @@ func BenchmarkAndnIntroExample(b *testing.B) {
 	}
 	b.ReportMetric(float64(count), "patterns")
 }
+
+// quickstartGoals is the goal set of examples/quickstart plus a
+// representative sample of the other groups (memory operand, flags),
+// used by the incremental-CEGIS benchmarks below.
+func quickstartGoals() []*sem.Instr {
+	return []*sem.Instr{
+		x86.Inc(),
+		x86.Andn(),
+		x86.AddInstr(),
+		x86.BinMemSrc(x86.AddInstr(), x86.AM{Base: true}),
+		x86.CmpJcc(x86.CCB),
+	}
+}
+
+func benchCEGIS(b *testing.B, disable bool) {
+	goals := quickstartGoals()
+	for i := 0; i < b.N; i++ {
+		for _, g := range goals {
+			e := cegis.New(ir.Ops(), cegis.Config{
+				Width: benchWidth, MaxLen: 2, Seed: 1,
+				QueryConflicts:     200_000,
+				DisableIncremental: disable,
+			})
+			res, err := e.Synthesize(g)
+			if err != nil {
+				b.Fatalf("%s: %v", g.Name, err)
+			}
+			if len(res.Patterns) == 0 {
+				b.Fatalf("%s: no patterns", g.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkCEGISIncremental times the incremental pipeline (persistent
+// per-goal solver contexts, shared term builder, lazy seed promotion,
+// counterexample carry-forward with concrete prefiltering) on the
+// quickstart goal set at width 8. Compare against BenchmarkCEGISFresh;
+// TestIncrementalEquivalence in internal/cegis proves both modes emit
+// identical libraries.
+func BenchmarkCEGISIncremental(b *testing.B) { benchCEGIS(b, false) }
+
+// BenchmarkCEGISFresh times the same synthesis with
+// Config.DisableIncremental: fresh builder, solver, and test suite per
+// multiset (the pre-incremental pipeline).
+func BenchmarkCEGISFresh(b *testing.B) { benchCEGIS(b, true) }

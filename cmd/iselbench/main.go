@@ -9,17 +9,115 @@
 //
 //	iselbench                        # synthesize basic+full, then benchmark
 //	iselbench -basic b.json -full f.json
+//	iselbench -json                  # time incremental vs fresh CEGIS,
+//	                                 # write BENCH_cegis.json, and exit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"selgen/internal/cegis"
 	"selgen/internal/driver"
+	"selgen/internal/ir"
 	"selgen/internal/pattern"
+	"selgen/internal/sem"
+	"selgen/internal/x86"
 )
+
+// cegisBenchGoal is one goal's timing in the -json comparison.
+type cegisBenchGoal struct {
+	Goal          string  `json:"goal"`
+	Patterns      int     `json:"patterns"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	FreshMS       float64 `json:"fresh_ms"`
+}
+
+// cegisBench is the BENCH_cegis.json document.
+type cegisBench struct {
+	Width         int              `json:"width"`
+	MaxLen        int              `json:"max_len"`
+	Rounds        int              `json:"rounds"`
+	Goals         []cegisBenchGoal `json:"goals"`
+	IncrementalMS float64          `json:"incremental_ms"`
+	FreshMS       float64          `json:"fresh_ms"`
+	Speedup       float64          `json:"speedup"`
+}
+
+// runCEGISBench times the incremental pipeline against the
+// DisableIncremental one on the quickstart goal set and writes the
+// result to path. Each mode runs `rounds` times per goal; the minimum
+// is reported (least-noise estimator).
+func runCEGISBench(width int, path string) error {
+	goals := []*sem.Instr{
+		x86.Inc(),
+		x86.Andn(),
+		x86.AddInstr(),
+		x86.BinMemSrc(x86.AddInstr(), x86.AM{Base: true}),
+		x86.CmpJcc(x86.CCB),
+	}
+	const rounds = 5
+	out := cegisBench{Width: width, MaxLen: 2, Rounds: rounds}
+	run := func(g *sem.Instr, disable bool) (time.Duration, int, error) {
+		best, patterns := time.Duration(0), 0
+		for r := 0; r < rounds; r++ {
+			e := cegis.New(ir.Ops(), cegis.Config{
+				Width: width, MaxLen: 2, Seed: 1,
+				QueryConflicts:     200_000,
+				DisableIncremental: disable,
+			})
+			start := time.Now()
+			res, err := e.Synthesize(g)
+			if err != nil {
+				return 0, 0, fmt.Errorf("%s: %w", g.Name, err)
+			}
+			if d := time.Since(start); r == 0 || d < best {
+				best = d
+			}
+			patterns = len(res.Patterns)
+		}
+		return best, patterns, nil
+	}
+	for _, g := range goals {
+		inc, patterns, err := run(g, false)
+		if err != nil {
+			return err
+		}
+		fresh, _, err := run(g, true)
+		if err != nil {
+			return err
+		}
+		out.Goals = append(out.Goals, cegisBenchGoal{
+			Goal: g.Name, Patterns: patterns,
+			IncrementalMS: float64(inc) / float64(time.Millisecond),
+			FreshMS:       float64(fresh) / float64(time.Millisecond),
+		})
+		out.IncrementalMS += float64(inc) / float64(time.Millisecond)
+		out.FreshMS += float64(fresh) / float64(time.Millisecond)
+	}
+	if out.IncrementalMS > 0 {
+		out.Speedup = out.FreshMS / out.IncrementalMS
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("incremental %.0fms vs fresh %.0fms (%.2fx) -> %s\n",
+		out.IncrementalMS, out.FreshMS, out.Speedup, path)
+	return nil
+}
 
 func loadOrSynthesize(path, what string, groups []driver.Group, width int) (*pattern.Library, error) {
 	if path != "" {
@@ -49,8 +147,17 @@ func main() {
 		basicPath = flag.String("basic", "", "basic rule library JSON (synthesized when empty)")
 		fullPath  = flag.String("full", "", "full rule library JSON (synthesized when empty)")
 		seed      = flag.Int64("seed", 99, "workload seed")
+		jsonBench = flag.Bool("json", false, "benchmark incremental vs fresh CEGIS, write BENCH_cegis.json, and exit")
 	)
 	flag.Parse()
+
+	if *jsonBench {
+		if err := runCEGISBench(*width, "BENCH_cegis.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "iselbench: cegis bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	basicLib, err := loadOrSynthesize(*basicPath, "basic", driver.BasicSetup(), *width)
 	if err != nil {

@@ -24,6 +24,11 @@ type Blaster struct {
 	cache map[*bv.Term][]sat.Lit
 	vars  map[string][]sat.Lit
 
+	// Hits and Misses count term-cache lookups in Blast; with a
+	// long-lived Blaster shared across CEGIS iterations the hit rate
+	// measures how much re-blasting the incremental pipeline avoids.
+	Hits, Misses int64
+
 	litTrue  sat.Lit
 	haveTrue bool
 }
@@ -89,8 +94,10 @@ func (bb *Blaster) Assert(t *bv.Term) {
 // Blast lowers t and returns its literal vector (length 1 for Bool).
 func (bb *Blaster) Blast(t *bv.Term) []sat.Lit {
 	if ls, ok := bb.cache[t]; ok {
+		bb.Hits++
 		return ls
 	}
+	bb.Misses++
 	ls := bb.blast(t)
 	bb.cache[t] = ls
 	return ls

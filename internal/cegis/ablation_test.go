@@ -67,3 +67,55 @@ func doubleGoal() *sem.Instr {
 		},
 	}
 }
+
+// TestIncrementalEquivalence checks that the incremental pipeline
+// (persistent per-goal solver contexts, lazy seed promotion,
+// counterexample carry-forward, concrete prefiltering) synthesizes
+// exactly the same library as the from-scratch pipeline: identical
+// minimal size and identical canonicalized pattern sets on the
+// quickstart goal set at width 8.
+func TestIncrementalEquivalence(t *testing.T) {
+	goals := []*sem.Instr{
+		x86.Inc(),
+		x86.Andn(),
+		x86.AddInstr(),
+		x86.BinMemSrc(x86.AddInstr(), x86.AM{Base: true}),
+		x86.CmpJcc(x86.CCB),
+	}
+	for _, goal := range goals {
+		canonSet := func(disable bool) (int, map[string]bool) {
+			e := New(ir.Ops(), Config{
+				Width: 8, MaxLen: 2, Seed: 1,
+				QueryConflicts:     200_000,
+				DisableIncremental: disable,
+			})
+			res, err := e.Synthesize(goal)
+			if err != nil {
+				t.Fatalf("%s (disable=%v): %v", goal.Name, disable, err)
+			}
+			set := make(map[string]bool, len(res.Patterns))
+			for _, p := range res.Patterns {
+				set[p.Canon()] = true
+			}
+			if len(set) != len(res.Patterns) {
+				t.Fatalf("%s (disable=%v): duplicate patterns emitted", goal.Name, disable)
+			}
+			return res.MinLen, set
+		}
+		incLen, inc := canonSet(false)
+		freshLen, fresh := canonSet(true)
+		if incLen != freshLen {
+			t.Errorf("%s: MinLen %d (incremental) != %d (fresh)", goal.Name, incLen, freshLen)
+		}
+		for c := range inc {
+			if !fresh[c] {
+				t.Errorf("%s: incremental-only pattern %q", goal.Name, c)
+			}
+		}
+		for c := range fresh {
+			if !inc[c] {
+				t.Errorf("%s: fresh-only pattern %q", goal.Name, c)
+			}
+		}
+	}
+}

@@ -40,6 +40,23 @@ type enc struct {
 	b      *bv.Builder
 	solver *smt.Solver
 
+	// prefix namespaces this encoding's structure variables (pos, sel,
+	// osel) when builder and solver are shared across multisets
+	// (incremental mode): selector widths differ between multisets, and
+	// bv.Builder.Var panics on a name redeclared at a different sort.
+	// Value variables (component arguments, internals, witness
+	// arguments) are deliberately NOT prefixed: they are keyed by
+	// component occurrence and instantiation, so the same component
+	// instantiated on the same test case in a later multiset reuses the
+	// same variables — its semantics hash-cons to the same terms and
+	// bit-blast to the already-emitted circuit.
+	prefix string
+
+	// occ[k] is comps[k]'s occurrence index among same-named components
+	// of the multiset, making shared value-variable names stable across
+	// multisets regardless of the component mix around them.
+	occ []int
+
 	posW int
 	pos  []*bv.Term
 
@@ -52,8 +69,6 @@ type enc struct {
 	internals [][]*bv.Term
 
 	memAnalysis memmodel.Analysis
-
-	nextInst int // instantiation counter for fresh variable names
 }
 
 // errNoSource reports a multiset that cannot form a well-formed pattern
@@ -65,6 +80,15 @@ type errNoSource struct {
 
 func (e errNoSource) Error() string {
 	return fmt.Sprintf("cegis: no source for argument %d of %s", e.arg, e.comp)
+}
+
+// name namespaces a variable name with the encoding's prefix (empty in
+// one-shot mode).
+func (e *enc) name(s string) string {
+	if e.prefix == "" {
+		return s
+	}
+	return e.prefix + s
 }
 
 func selWidth(n int) int {
@@ -84,9 +108,12 @@ func (e *enc) assertBound(v *bv.Term, n int) {
 }
 
 // newEnc builds the encoding and asserts the well-formedness constraint
-// ϕwf into a fresh solver. With cfg.AllowNonNormalized unset, ϕwf
-// additionally requires patterns in IR normal form (see below).
-func newEnc(cfg Config, goal *sem.Instr, comps []*sem.Instr) (*enc, error) {
+// ϕwf. With sc nil it uses a fresh builder and solver (one-shot mode);
+// otherwise it encodes into the goal's shared synthesis context, where
+// the caller is expected to bracket this multiset with the solver's
+// Push/Pop. With cfg.AllowNonNormalized unset, ϕwf additionally
+// requires patterns in IR normal form (see below).
+func newEnc(cfg Config, goal *sem.Instr, comps []*sem.Instr, sc *synthCtx) (*enc, error) {
 	if len(goal.Internals) != 0 {
 		panic("cegis: goal instructions must have no internal attributes (enumerate them as separate goals)")
 	}
@@ -102,16 +129,32 @@ func newEnc(cfg Config, goal *sem.Instr, comps []*sem.Instr) (*enc, error) {
 		}
 	}
 	normalized := !cfg.AllowNonNormalized
-	b := bv.NewBuilder()
-	b.Simplify = !cfg.DisableTermSimplify
+	var b *bv.Builder
+	var solver *smt.Solver
+	prefix := ""
+	if sc != nil {
+		b, solver = sc.b, sc.solver
+		prefix = fmt.Sprintf("m%d_", sc.nextEnc)
+		sc.nextEnc++
+	} else {
+		b = bv.NewBuilder()
+		b.Simplify = !cfg.DisableTermSimplify
+		solver = smt.NewSolver(b)
+	}
 	e := &enc{
 		cfg:    cfg,
 		width:  cfg.Width,
 		goal:   goal,
 		comps:  comps,
 		b:      b,
-		solver: smt.NewSolver(b),
+		solver: solver,
+		prefix: prefix,
 		posW:   selWidth(len(comps) + 1),
+	}
+	occCount := map[string]int{}
+	for _, c := range comps {
+		e.occ = append(e.occ, occCount[c.Name])
+		occCount[c.Name]++
 	}
 	if goal.AccessesMemory() {
 		e.memAnalysis = memmodel.Analyze(b, e.width, goal)
@@ -119,7 +162,7 @@ func newEnc(cfg Config, goal *sem.Instr, comps []*sem.Instr) (*enc, error) {
 
 	// Position variables: a permutation of 0..len(comps)-1.
 	for k := range comps {
-		p := b.Var(fmt.Sprintf("pos_%d", k), bv.BitVec(e.posW))
+		p := b.Var(e.name(fmt.Sprintf("pos_%d", k)), bv.BitVec(e.posW))
 		e.pos = append(e.pos, p)
 		e.assertBound(p, len(comps))
 	}
@@ -147,7 +190,7 @@ func newEnc(cfg Config, goal *sem.Instr, comps []*sem.Instr) (*enc, error) {
 				return nil, errNoSource{comp: c.Name, arg: a}
 			}
 			e.argSources[k][a] = srcs
-			sel := b.Var(fmt.Sprintf("sel_%d_%d", k, a), bv.BitVec(selWidth(len(srcs))))
+			sel := b.Var(e.name(fmt.Sprintf("sel_%d_%d", k, a)), bv.BitVec(selWidth(len(srcs))))
 			e.argSels[k][a] = sel
 			e.assertBound(sel, len(srcs))
 			// Selecting a component's result forces it earlier.
@@ -170,7 +213,7 @@ func newEnc(cfg Config, goal *sem.Instr, comps []*sem.Instr) (*enc, error) {
 			return nil, errNoSource{comp: "<result>", arg: r}
 		}
 		e.outSources[r] = srcs
-		sel := b.Var(fmt.Sprintf("osel_%d", r), bv.BitVec(selWidth(len(srcs))))
+		sel := b.Var(e.name(fmt.Sprintf("osel_%d", r)), bv.BitVec(selWidth(len(srcs))))
 		e.outSels[r] = sel
 		e.assertBound(sel, len(srcs))
 	}
@@ -213,7 +256,7 @@ func newEnc(cfg Config, goal *sem.Instr, comps []*sem.Instr) (*enc, error) {
 			} else {
 				s = bv.BitVec(e.width)
 			}
-			e.internals[k][i] = b.Var(fmt.Sprintf("int_%d_%d", k, i), s)
+			e.internals[k][i] = b.Var(fmt.Sprintf("int_%s.%d_%d", c.Name, e.occ[k], i), s)
 		}
 	}
 
@@ -292,10 +335,13 @@ type instantiation struct {
 // into the solver and returning the spec-side terms. The memory model
 // (if any) is rebuilt over va so that valid pointers follow the
 // instantiation (concrete for test cases, symbolic for the witness).
-func (e *enc) instantiate(va []*bv.Term) instantiation {
+//
+// instKey identifies the instantiation independently of the multiset —
+// the test-case value key for test cases, a witness id for witnesses —
+// so that component argument variables (and hence the applied component
+// semantics) are shared across multisets.
+func (e *enc) instantiate(va []*bv.Term, instKey string) instantiation {
 	b := e.b
-	id := e.nextInst
-	e.nextInst++
 
 	ctx := &sem.Ctx{B: b, Width: e.width}
 	if e.goal.AccessesMemory() {
@@ -313,7 +359,7 @@ func (e *enc) instantiate(va []*bv.Term) instantiation {
 	for k, c := range e.comps {
 		argVals[k] = make([]*bv.Term, len(c.Args))
 		for a, kind := range c.Args {
-			argVals[k][a] = b.Var(fmt.Sprintf("e%d_%d_%d", id, k, a), ctx.SortOf(kind))
+			argVals[k][a] = b.Var(fmt.Sprintf("e_%s.%d_%s_%d", c.Name, e.occ[k], instKey, a), ctx.SortOf(kind))
 		}
 	}
 	resVals := make([][]*bv.Term, len(e.comps))
@@ -407,7 +453,7 @@ func (e *enc) goalArgTerms(tc []uint64) []*bv.Term {
 func (e *enc) addTestCase(tc []uint64) {
 	b := e.b
 	va := e.goalArgTerms(tc)
-	inst := e.instantiate(va)
+	inst := e.instantiate(va, cexKey(tc))
 	match := b.BoolConst(true)
 	for r := range inst.patResults {
 		match = b.And(match, eqTerms(b, inst.patResults[r], inst.goalResults[r]))
@@ -430,7 +476,7 @@ func (e *enc) addTestCase(tc []uint64) {
 // sound-but-useless rules. See DESIGN.md, deviation 3.
 func (e *enc) addWitness() {
 	base := e.freshWitnessArgs("wit")
-	inst := e.instantiate(base)
+	inst := e.instantiate(base, "wit")
 	e.solver.Assert(inst.patPre)
 	e.solver.Assert(inst.goalPre)
 
@@ -442,7 +488,7 @@ func (e *enc) addWitness() {
 			continue
 		}
 		va := e.freshWitnessArgs(fmt.Sprintf("wit%d", i))
-		alt := e.instantiate(va)
+		alt := e.instantiate(va, fmt.Sprintf("wit%d", i))
 		e.solver.Assert(alt.patPre)
 		e.solver.Assert(alt.goalPre)
 		e.solver.Assert(e.b.Not(e.b.Eq(va[i], base[i])))
@@ -451,7 +497,7 @@ func (e *enc) addWitness() {
 
 // freshWitnessArgs allocates symbolic goal arguments for one witness
 // instantiation.
-func (e *enc) freshWitnessArgs(prefix string) []*bv.Term {
+func (e *enc) freshWitnessArgs(base string) []*bv.Term {
 	b := e.b
 	ctxMemW := 1
 	if e.goal.AccessesMemory() {
@@ -468,7 +514,7 @@ func (e *enc) freshWitnessArgs(prefix string) []*bv.Term {
 		default:
 			s = bv.BitVec(e.width)
 		}
-		va[i] = b.Var(fmt.Sprintf("%s_a%d", prefix, i), s)
+		va[i] = b.Var(fmt.Sprintf("%s_a%d", base, i), s)
 	}
 	return va
 }

@@ -64,6 +64,10 @@ type Config struct {
 	// patterns a canonicalizing compiler would never produce, such as
 	// Add(x,x) for 2x.
 	AllowNonNormalized bool
+	// DisableIncremental reverts to the non-incremental pipeline (fresh
+	// builder/blaster/solver per multiset and per verification query, no
+	// counterexample carry-forward) — the incremental-solving ablation.
+	DisableIncremental bool
 }
 
 func (c Config) withDefaults() Config {
@@ -92,25 +96,55 @@ type Stats struct {
 	MultisetsTried int64
 	// MultisetsSkipped counts §5.4 pruning skips (by criterion).
 	SkippedNoSource, SkippedConsumers, SkippedNoMemOps int64
-	// QueryTimeouts counts multisets abandoned because one SMT query
-	// exhausted its conflict budget (QueryConflicts).
+	// QueryTimeouts counts SMT queries that exhausted their conflict
+	// budget (QueryConflicts): a synthesis timeout abandons the
+	// multiset, a verification timeout skips just that candidate.
 	QueryTimeouts int64
+	// CexReused counts cached counterexamples from earlier multisets
+	// that the concrete prefilter promoted into a later multiset's
+	// encoding (lazy carry-forward).
+	CexReused int64
+	// PrefilterKills counts candidates eliminated by concrete
+	// evaluation against the counterexample cache before any SMT
+	// verification query.
+	PrefilterKills int64
 	// Patterns counts valid patterns found.
 	Patterns int64
 }
 
 // Engine synthesizes IR patterns for goal machine instructions.
+// An Engine is not safe for concurrent use; the driver creates one
+// engine per goal worker.
 type Engine struct {
 	cfg Config
 	ops []*sem.Instr
 
 	// Stats accumulate across Synthesize calls.
 	Stats Stats
+
+	// Per-goal incremental state (see incremental.go): one persistent
+	// verification context and one persistent synthesis builder/solver
+	// per goal, plus the counterexample cache shared across multisets.
+	verifiers map[*sem.Instr]*verifier
+	synths    map[*sem.Instr]*synthCtx
+	cexes     map[*sem.Instr]*cexCache
+
+	// Solver-effort aggregation for SolverStats: persistent solvers are
+	// tracked live, transient ones folded into retired on disposal.
+	liveSolvers                 []*smt.Solver
+	retiredSynth, retiredVerify SolverStats
+	retired                     SolverStats
 }
 
 // New returns an engine over the IR operation set I.
 func New(ops []*sem.Instr, cfg Config) *Engine {
-	return &Engine{cfg: cfg.withDefaults(), ops: ops}
+	return &Engine{
+		cfg:       cfg.withDefaults(),
+		ops:       ops,
+		verifiers: make(map[*sem.Instr]*verifier),
+		synths:    make(map[*sem.Instr]*synthCtx),
+		cexes:     make(map[*sem.Instr]*cexCache),
+	}
 }
 
 // Width returns the configured word width.
@@ -160,80 +194,25 @@ func (e *Engine) seedTests(goal *sem.Instr) [][]uint64 {
 // results differ, or (3) makes the pattern access an invalid address.
 // It returns (nil, true) when the pattern is correct, or a
 // counterexample test case.
+//
+// By default the query runs in the goal's persistent verification
+// context: the goal semantics and argument variables are built and
+// bit-blasted once, and the per-candidate constraints live in a
+// retractable solver frame. Under Config.DisableIncremental a fresh
+// context is built per call (the pre-incremental behaviour).
 func (e *Engine) verify(goal *sem.Instr, p *pattern.Pattern) (cex []uint64, ok bool, err error) {
 	e.Stats.VerifyQueries++
-	b := bv.NewBuilder()
-	b.Simplify = !e.cfg.DisableTermSimplify
-	solver := smt.NewSolver(b)
-	ctx := &sem.Ctx{B: b, Width: e.cfg.Width}
-
-	va := make([]*bv.Term, len(goal.Args))
-	var model *memmodel.Model
-	if goal.AccessesMemory() {
-		// Build value args first; pointers may depend on them.
-		for i, k := range goal.Args {
-			if k != sem.KindMem {
-				va[i] = b.Var(fmt.Sprintf("v_a%d", i), ctx.SortOf(k))
-			}
-		}
-		if e.cfg.NaiveMemSlots > 0 {
-			model = memmodel.NewNaive(b, e.cfg.Width, e.cfg.NaiveMemSlots)
-		} else {
-			ptrs := memmodel.PtrsFor(b, e.cfg.Width, goal, va, nil)
-			model = memmodel.New(b, e.cfg.Width, ptrs)
-		}
-		ctx.Mem = model
-		for i, k := range goal.Args {
-			if k == sem.KindMem {
-				va[i] = b.Var(fmt.Sprintf("v_a%d", i), model.Sort())
-			}
-		}
-	} else {
-		for i, k := range goal.Args {
-			va[i] = b.Var(fmt.Sprintf("v_a%d", i), ctx.SortOf(k))
-		}
+	if e.cfg.DisableIncremental {
+		v := e.newVerifier(goal)
+		defer e.retireVerify(v.solver)
+		v.assertCandidate(e, p)
+		return v.check(e, goal)
 	}
-
-	patRes, patPre, patMemOK := p.Semantics(ctx, e.ops, va)
-	geff := goal.Apply(ctx, va, nil)
-	goalPre := geff.Pre
-	if goalPre == nil {
-		goalPre = b.BoolConst(true)
-	}
-
-	var bad []*bv.Term
-	bad = append(bad, b.Not(goalPre)) // (1)
-	for r := range patRes {
-		bad = append(bad, b.Not(eqTerms(b, patRes[r], geff.Results[r]))) // (2)
-	}
-	bad = append(bad, b.Not(patMemOK)) // (3)
-
-	if e.cfg.RequireTotal {
-		// Counterexample: P+ holds and one of (1)-(3) fails, OR the
-		// pattern is undefined somewhere the goal is defined.
-		solver.Assert(b.Or(
-			b.And(patPre, b.Or(bad...)),
-			b.And(goalPre, b.Not(patPre))))
-	} else {
-		solver.Assert(patPre)
-		solver.Assert(b.Or(bad...))
-	}
-
-	res, cerr := solver.Check(e.queryOpts())
-	switch res {
-	case smt.Unsat:
-		return nil, true, nil
-	case smt.Sat:
-		tc := make([]uint64, len(goal.Args))
-		for i := range goal.Args {
-			tc[i] = solver.ModelValue(fmt.Sprintf("v_a%d", i), va[i].Sort)
-		}
-		return tc, false, nil
-	}
-	if cerr != nil {
-		return nil, false, fmt.Errorf("cegis: verification gave up on %s: %w", goal.Name, cerr)
-	}
-	return nil, false, fmt.Errorf("cegis: verification unknown for %s", goal.Name)
+	v := e.verifierFor(goal)
+	v.solver.Push()
+	defer v.solver.Pop()
+	v.assertCandidate(e, p)
+	return v.check(e, goal)
 }
 
 // CEGISAllPatterns runs the §5.3 loop over one component multiset:
@@ -246,7 +225,26 @@ func (e *Engine) CEGISAllPatterns(comps []*sem.Instr, goal *sem.Instr) ([]patter
 
 func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget int) ([]pattern.Pattern, error) {
 	e.Stats.MultisetsTried++
-	en, err := newEnc(e.cfg, goal, comps)
+	var sc *synthCtx
+	var cache *cexCache
+	if !e.cfg.DisableIncremental {
+		// Share the goal's hash-consed term builder across the whole
+		// multiset enumeration — component semantics instantiated on
+		// the same test-case values are named identically in every
+		// multiset (see enc.instantiate), so later multisets find their
+		// terms already built and simplified — and reset the SAT core
+		// between multisets: consecutive multisets share no assertions,
+		// so asserting this multiset's encoding permanently (level-0
+		// units that propagate once) and dropping the core afterwards
+		// beats a retractable frame, whose guarded clauses re-propagate
+		// under their assumption on every Check and whose accumulated
+		// circuits every later Sat answer would have to assign. See
+		// DESIGN.md ("Incremental solving").
+		sc = e.synthCtxFor(goal)
+		cache = e.cexCacheFor(goal)
+		defer sc.solver.Reset()
+	}
+	en, err := newEnc(e.cfg, goal, comps, sc)
 	if err != nil {
 		var ns errNoSource
 		if errors.As(err, &ns) {
@@ -254,9 +252,45 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 		}
 		return nil, err
 	}
+	if sc == nil {
+		defer e.retireSynth(en.solver)
+	}
 	en.addWitness()
-	for _, tc := range e.seedTests(goal) {
-		en.addTestCase(tc)
+	// "asserted" tracks which test-case values this encoding already
+	// constrains, keyed by cexKey.
+	asserted := map[string]bool{}
+	// pool is the concrete screening set: seed tests plus every
+	// counterexample earlier multisets produced. In incremental mode
+	// test cases are asserted lazily — a pool entry is encoded only
+	// once it concretely kills a candidate — so unrealizable multisets
+	// (the bulk of the enumeration) pay for a witness and one Unsat
+	// check instead of a full test-suite encoding. The emitted pattern
+	// set is unaffected: candidates are still verified against the full
+	// semantics, and the exclusion loop still runs to Unsat.
+	var pool [][]uint64
+	lazySeeds := cache != nil && len(comps) < eagerSeedLen
+	if !lazySeeds {
+		for _, tc := range e.seedTests(goal) {
+			en.addTestCase(tc)
+			asserted[cexKey(tc)] = true
+		}
+	}
+	if cache != nil {
+		inPool := map[string]bool{}
+		if lazySeeds {
+			for _, tc := range e.seedTests(goal) {
+				if k := cexKey(tc); !inPool[k] {
+					inPool[k] = true
+					pool = append(pool, tc)
+				}
+			}
+		}
+		for _, tc := range cache.list {
+			if k := cexKey(tc); !inPool[k] && !asserted[k] {
+				inPool[k] = true
+				pool = append(pool, tc)
+			}
+		}
 	}
 
 	var found []pattern.Pattern
@@ -289,19 +323,60 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 		}
 		a := en.readAssignment()
 		cand := en.toPattern(a)
+		// Concrete prefilter: replay the screening pool against the
+		// candidate before paying for an SMT verification query; a kill
+		// lazily promotes the killing test case into the encoding.
+		if cache != nil {
+			if killers := e.prefilterKillers(goal, &cand, pool); len(killers) > 0 {
+				fresh := 0
+				for _, killer := range killers {
+					if fresh >= maxKillersPerRound {
+						break
+					}
+					k := cexKey(killer)
+					if asserted[k] {
+						continue
+					}
+					asserted[k] = true
+					fresh++
+					e.Stats.PrefilterKills++
+					if cache.seen[k] {
+						e.Stats.CexReused++
+					}
+					en.addTestCase(killer)
+				}
+				if fresh > 0 {
+					continue
+				}
+				// Every killer is already asserted yet the candidate
+				// was still proposed: the concrete evaluator and the
+				// solver encoding disagree. Fall through to full
+				// verification, which is authoritative (and guarantees
+				// progress).
+			}
+		}
 		cex, ok, verr := e.verify(goal, &cand)
 		if verr != nil {
 			if e.deadlineExceeded() {
 				return found, ErrDeadline
 			}
 			if errors.Is(verr, smt.ErrBudget) {
+				// One hard verification query skips just this candidate
+				// (exclude it and move on) rather than abandoning the
+				// whole multiset enumeration.
 				e.Stats.QueryTimeouts++
-				return found, nil
+				en.exclude(a)
+				continue
 			}
 			return found, verr
 		}
 		if !ok {
 			e.Stats.Counterexamples++
+			if cache != nil {
+				cache.add(cex)
+				asserted[cexKey(cex)] = true
+				pool = append(pool, cex)
+			}
 			en.addTestCase(cex)
 			continue
 		}
@@ -493,6 +568,7 @@ func (e *Engine) AnalyzeMemoryNeeds(goal *sem.Instr) (needLoad, needStore bool) 
 	check := func(flags bool) bool {
 		b := bv.NewBuilder()
 		solver := smt.NewSolver(b)
+		defer e.retireSolver(solver)
 		ctx := &sem.Ctx{B: b, Width: e.cfg.Width}
 		va := make([]*bv.Term, len(goal.Args))
 		for i, k := range goal.Args {

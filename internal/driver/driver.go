@@ -53,6 +53,57 @@ type GroupReport struct {
 	Patterns int
 	MaxSize  int
 	Elapsed  time.Duration
+	// Solver aggregates the group's engine and solver effort.
+	Solver SolverEffort
+}
+
+// SolverEffort aggregates synthesis-engine and SMT-solver counters
+// across the goals of a group (or a whole run).
+type SolverEffort struct {
+	SynthQueries, VerifyQueries int64
+	Conflicts, Restarts         int64
+	BlastHits, BlastMisses      int64
+	// CexReused counts cached counterexamples from earlier multisets
+	// promoted into later encodings; PrefilterKills counts candidates
+	// the concrete prefilter eliminated without an SMT query.
+	CexReused, PrefilterKills int64
+	QueryTimeouts             int64
+}
+
+func (s *SolverEffort) add(o SolverEffort) {
+	s.SynthQueries += o.SynthQueries
+	s.VerifyQueries += o.VerifyQueries
+	s.Conflicts += o.Conflicts
+	s.Restarts += o.Restarts
+	s.BlastHits += o.BlastHits
+	s.BlastMisses += o.BlastMisses
+	s.CexReused += o.CexReused
+	s.PrefilterKills += o.PrefilterKills
+	s.QueryTimeouts += o.QueryTimeouts
+}
+
+// BlastHitRate is the bit-blast term-cache hit rate in [0, 1]; it
+// measures how much re-blasting incremental solving avoided.
+func (s SolverEffort) BlastHitRate() float64 {
+	if s.BlastHits+s.BlastMisses == 0 {
+		return 0
+	}
+	return float64(s.BlastHits) / float64(s.BlastHits+s.BlastMisses)
+}
+
+func effortOf(e *cegis.Engine) SolverEffort {
+	st := e.SolverStats()
+	return SolverEffort{
+		SynthQueries:   e.Stats.SynthQueries,
+		VerifyQueries:  e.Stats.VerifyQueries,
+		Conflicts:      st.Conflicts,
+		Restarts:       st.Restarts,
+		BlastHits:      st.BlastHits,
+		BlastMisses:    st.BlastMisses,
+		CexReused:      e.Stats.CexReused,
+		PrefilterKills: e.Stats.PrefilterKills,
+		QueryTimeouts:  e.Stats.QueryTimeouts,
+	}
 }
 
 // Report covers a whole run.
@@ -61,13 +112,26 @@ type Report struct {
 	Total  GroupReport
 }
 
-// WriteTable renders the report like the paper's Table 2.
+// WriteTable renders the report like the paper's Table 2, followed by
+// a solver-effort section (queries, conflicts, cache effectiveness).
 func (r *Report) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "%-12s %7s %9s %5s %14s\n", "Group", "#Goals", "Patterns", "Size", "Synthesis Time")
 	for _, g := range r.Groups {
 		fmt.Fprintf(w, "%-12s %7d %9d %5d %14s\n", g.Name, g.Goals, g.Patterns, g.MaxSize, g.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Fprintf(w, "%-12s %7d %9d %5d %14s\n", "Total", r.Total.Goals, r.Total.Patterns, r.Total.MaxSize, r.Total.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-12s %9s %9s %10s %6s %8s %7s %8s\n",
+		"Solver", "SynthQ", "VerifyQ", "Conflicts", "Blast%", "CexReuse", "Kills", "Timeouts")
+	for _, g := range r.Groups {
+		writeEffortRow(w, g.Name, g.Solver)
+	}
+	writeEffortRow(w, "Total", r.Total.Solver)
+}
+
+func writeEffortRow(w io.Writer, name string, s SolverEffort) {
+	fmt.Fprintf(w, "%-12s %9d %9d %10d %5.1f%% %8d %7d %8d\n",
+		name, s.SynthQueries, s.VerifyQueries, s.Conflicts,
+		100*s.BlastHitRate(), s.CexReused, s.PrefilterKills, s.QueryTimeouts)
 }
 
 // BasicSetup returns the paper's basic setup (§7.1): register variants
@@ -194,8 +258,9 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 		start := time.Now()
 
 		type goalOut struct {
-			res *cegis.Result
-			err error
+			res    *cegis.Result
+			err    error
+			effort SolverEffort
 		}
 		outs := make([]goalOut, len(grp.Goals))
 		sem := make(chan struct{}, workers)
@@ -233,6 +298,7 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 				} else {
 					outs[gi].res, outs[gi].err = e.Synthesize(goal)
 				}
+				outs[gi].effort = effortOf(e)
 			}()
 		}
 		for range grp.Goals {
@@ -251,13 +317,18 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 				}
 			}
 			gr.Patterns += len(res.Patterns)
+			gr.Solver.add(outs[gi].effort)
 			if opts.Progress != nil {
 				status := ""
 				if err == cegis.ErrDeadline {
 					status = " (timeout)"
 				}
-				fmt.Fprintf(opts.Progress, "  %-24s %4d patterns in %s%s\n",
-					goal.Name, len(res.Patterns), res.Elapsed.Round(time.Millisecond), status)
+				ef := outs[gi].effort
+				fmt.Fprintf(opts.Progress,
+					"  %-24s %4d patterns in %s%s [checks %d+%d, conflicts %d, blast %.0f%%, cex reuse %d, kills %d, timeouts %d]\n",
+					goal.Name, len(res.Patterns), res.Elapsed.Round(time.Millisecond), status,
+					ef.SynthQueries, ef.VerifyQueries, ef.Conflicts,
+					100*ef.BlastHitRate(), ef.CexReused, ef.PrefilterKills, ef.QueryTimeouts)
 			}
 		}
 		gr.Elapsed = time.Since(start)
@@ -265,6 +336,7 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 		rep.Total.Goals += gr.Goals
 		rep.Total.Patterns += gr.Patterns
 		rep.Total.Elapsed += gr.Elapsed
+		rep.Total.Solver.add(gr.Solver)
 		if gr.MaxSize > rep.Total.MaxSize {
 			rep.Total.MaxSize = gr.MaxSize
 		}

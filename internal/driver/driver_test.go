@@ -7,9 +7,20 @@ import (
 	"time"
 )
 
+// scaledTimeout widens a per-goal deadline when the race detector is
+// on: instrumentation slows synthesis roughly an order of magnitude,
+// and a deadline hit truncates the library, turning a timing artifact
+// into a spurious missing-pattern failure.
+func scaledTimeout(d time.Duration) time.Duration {
+	if raceEnabled {
+		return 10 * d
+	}
+	return d
+}
+
 func TestBasicSetupSynthesis(t *testing.T) {
 	lib, rep, err := Run(BasicSetup(), Options{Width: 8, Seed: 1,
-		MaxPatternsPerGoal: 16, PerGoalTimeout: 5 * time.Minute})
+		MaxPatternsPerGoal: 16, PerGoalTimeout: scaledTimeout(5 * time.Minute)})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -42,7 +53,7 @@ func TestBasicSetupSynthesis(t *testing.T) {
 
 func TestBMISetupSynthesis(t *testing.T) {
 	lib, rep, err := Run(BMISetup(), Options{Width: 8, Seed: 1,
-		MaxPatternsPerGoal: 16, PerGoalTimeout: 90 * time.Second})
+		MaxPatternsPerGoal: 16, PerGoalTimeout: scaledTimeout(90 * time.Second)})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

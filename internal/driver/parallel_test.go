@@ -10,7 +10,7 @@ import (
 // sequential run (merging is in goal order).
 func TestParallelMatchesSequential(t *testing.T) {
 	opts := Options{Width: 8, Seed: 1, MaxPatternsPerGoal: 8,
-		PerGoalTimeout: 90 * time.Second}
+		PerGoalTimeout: scaledTimeout(90 * time.Second)}
 	seqLib, _, err := Run(BMISetup(), opts)
 	if err != nil {
 		t.Fatalf("sequential: %v", err)

@@ -1,0 +1,7 @@
+//go:build race
+
+package driver
+
+// raceEnabled reports whether the race detector is compiled in; see
+// scaledTimeout.
+const raceEnabled = true

@@ -161,6 +161,14 @@ type Solver struct {
 	toClr  []Var
 	stamps []int
 
+	// Scratch buffers reused across calls (conflict analysis and clause
+	// normalization run once per conflict / per added clause, so a fresh
+	// allocation each time is measurable GC pressure).
+	addBuf    []Lit
+	learntBuf []Lit
+	origBuf   []Var
+	stackBuf  []Var
+
 	Stats Stats
 }
 
@@ -186,9 +194,54 @@ func (s *Solver) NewVar() Var {
 	s.reason = append(s.reason, -1)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
-	s.watches = append(s.watches, nil, nil)
+	if n := len(s.watches); n+2 <= cap(s.watches) {
+		// Regrowing after Recycle: reuse the slot's retained watcher
+		// arrays instead of discarding them.
+		s.watches = s.watches[:n+2]
+		s.watches[n] = s.watches[n][:0]
+		s.watches[n+1] = s.watches[n+1][:0]
+	} else {
+		s.watches = append(s.watches, nil, nil)
+	}
 	s.order.insert(v)
 	return v
+}
+
+// Recycle resets the solver to its freshly-constructed logical state
+// while retaining the memory of its previous life: the clause arena,
+// watch lists, and per-variable buffers keep their capacity. Callers
+// that repeatedly rebuild solvers of a similar shape (e.g. the SMT
+// facade's garbage-collection rebuilds, one per synthesis multiset)
+// would otherwise re-grow every internal slice from scratch each time.
+func (s *Solver) Recycle() {
+	s.clauses = s.clauses[:0]
+	s.learnts = s.learnts[:0]
+	s.arena = s.arena[:0] // slots (and their lits arrays) are reused by allocClause
+	w := s.watches[:cap(s.watches)]
+	for i := range w {
+		w[i] = w[i][:0]
+	}
+	s.watches = s.watches[:0]
+	// Per-variable slices need no clearing: NewVar writes every revealed
+	// slot explicitly when it re-extends them.
+	s.assignLit = s.assignLit[:0]
+	s.polarity = s.polarity[:0]
+	s.level = s.level[:0]
+	s.reason = s.reason[:0]
+	s.activity = s.activity[:0]
+	s.seen = s.seen[:0]
+	s.trail = s.trail[:0]
+	s.trailLim = s.trailLim[:0]
+	s.qhead = 0
+	s.order.heap = s.order.heap[:0]
+	s.order.indices = s.order.indices[:0]
+	s.varInc = 1
+	s.claInc = 1
+	s.ok = true
+	s.model = s.model[:0]
+	s.toClr = s.toClr[:0]
+	s.stamps = s.stamps[:0]
+	s.Stats = Stats{}
 }
 
 func (s *Solver) value(l Lit) lbool { return s.assignLit[l] }
@@ -207,7 +260,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		panic("sat: AddClause called during search")
 	}
 	// Normalize: sort-free dedup, drop false lits, detect tautology/sat.
-	out := lits[:0:0]
+	out := s.addBuf[:0]
 	for _, l := range lits {
 		if int(l.Var()) >= s.NumVars() {
 			panic(fmt.Sprintf("sat: clause uses unallocated variable %d", l.Var()))
@@ -232,6 +285,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 			out = append(out, l)
 		}
 	}
+	s.addBuf = out[:0]
 	switch len(out) {
 	case 0:
 		s.ok = false
@@ -250,9 +304,59 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	return true
 }
 
+// allocClause copies lits into a (possibly recycled) arena slot, so
+// callers may pass reused scratch buffers.
 func (s *Solver) allocClause(lits []Lit, learnt bool) int {
-	s.arena = append(s.arena, clause{lits: lits, learnt: learnt})
+	if n := len(s.arena); n < cap(s.arena) {
+		s.arena = s.arena[:n+1]
+		c := &s.arena[n]
+		c.lits = append(c.lits[:0], lits...)
+		c.activity = 0
+		c.learnt = learnt
+		c.deleted = false
+		return n
+	}
+	s.arena = append(s.arena, clause{lits: append([]Lit(nil), lits...), learnt: learnt})
 	return len(s.arena) - 1
+}
+
+// Simplify removes clauses satisfied at decision level 0 from the
+// problem and learnt databases, detaching them from the watch lists.
+// It must be called between Solve calls (decision level 0). Callers
+// that retract assertion groups by fixing an activation literal false
+// should Simplify afterwards so the retired clauses stop burdening
+// propagation.
+func (s *Solver) Simplify() {
+	if !s.ok || s.decisionLevel() != 0 {
+		return
+	}
+	s.clauses = s.simplifyList(s.clauses)
+	s.learnts = s.simplifyList(s.learnts)
+}
+
+func (s *Solver) simplifyList(refs []int) []int {
+	kept := refs[:0]
+	for _, cref := range refs {
+		c := &s.arena[cref]
+		if c.deleted {
+			continue
+		}
+		sat0 := false
+		for _, l := range c.lits {
+			if s.value(l) == lTrue {
+				sat0 = true
+				break
+			}
+		}
+		if sat0 && !s.locked(cref) {
+			s.detachClause(cref)
+			c.deleted = true
+			s.Stats.Removed++
+		} else {
+			kept = append(kept, cref)
+		}
+	}
+	return kept
 }
 
 func (s *Solver) attachClause(cref int) {
@@ -339,7 +443,7 @@ func (s *Solver) propagate() int {
 // analyze performs first-UIP conflict analysis and returns the learnt
 // clause (asserting literal first) and the backtrack level.
 func (s *Solver) analyze(conflict int) ([]Lit, int) {
-	learnt := []Lit{0} // placeholder for the asserting literal
+	learnt := append(s.learntBuf[:0], 0) // [0] holds the asserting literal
 	counter := 0
 	var p Lit = -1
 	idx := len(s.trail) - 1
@@ -385,11 +489,12 @@ func (s *Solver) analyze(conflict int) ([]Lit, int) {
 	// Clause minimization: drop literals implied by the rest. Snapshot
 	// the vars first: compaction overwrites dropped literals in place,
 	// and every mark must be cleared afterwards.
-	origVars := make([]Var, len(learnt))
-	for i, l := range learnt {
-		origVars[i] = l.Var()
+	origVars := s.origBuf[:0]
+	for _, l := range learnt {
+		origVars = append(origVars, l.Var())
 		s.seen[l.Var()] = 1
 	}
+	s.origBuf = origVars[:0]
 	jj := 1
 	for i := 1; i < len(learnt); i++ {
 		if s.reason[learnt[i].Var()] == -1 || !s.litRedundant(learnt[i]) {
@@ -418,13 +523,15 @@ func (s *Solver) analyze(conflict int) ([]Lit, int) {
 		minimized[1], minimized[maxI] = minimized[maxI], minimized[1]
 		btLevel = s.level[minimized[1].Var()]
 	}
+	s.learntBuf = learnt[:0] // minimized aliases it; allocClause copies
 	return minimized, btLevel
 }
 
 // litRedundant reports whether l is implied by the other marked literals,
 // following reasons transitively (local minimization with a work stack).
 func (s *Solver) litRedundant(l Lit) bool {
-	stack := []Var{l.Var()}
+	stack := append(s.stackBuf[:0], l.Var())
+	defer func() { s.stackBuf = stack[:0] }()
 	top := len(s.toClr)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
@@ -615,7 +722,14 @@ func (s *Solver) Solve(opts Options, assumptions ...Lit) (Status, error) {
 		st := s.search(budget, assumptions, &maxLearnts, opts, conflictsAtStart)
 		switch st {
 		case Sat:
-			s.model = make([]bool, s.NumVars())
+			// Reuse the model slice across Solve calls: this sits in the
+			// innermost CEGIS loop, where a fresh allocation per check adds
+			// measurable GC pressure.
+			if n := s.NumVars(); cap(s.model) >= n {
+				s.model = s.model[:n]
+			} else {
+				s.model = make([]bool, n)
+			}
 			for v := range s.model {
 				s.model[v] = s.varValue(Var(v)) == lTrue
 			}
@@ -631,7 +745,17 @@ func (s *Solver) Solve(opts Options, assumptions ...Lit) (Status, error) {
 			return Unknown, ErrBudget
 		}
 		s.Stats.Restarts++
-		s.cancelUntil(0)
+		// Assumption-preserving restart: only undo the VSIDS decisions.
+		// The assumptions occupy the first decision levels and would be
+		// re-assumed identically, so keeping them (and everything they
+		// imply) avoids re-propagating the whole assumption cone — the
+		// dominant cost when an incremental caller guards a large
+		// formula behind one activation literal.
+		keep := len(assumptions)
+		if dl := s.decisionLevel(); dl < keep {
+			keep = dl
+		}
+		s.cancelUntil(keep)
 	}
 }
 

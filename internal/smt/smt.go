@@ -54,22 +54,59 @@ type Stats struct {
 	Checks    int64
 	SatTime   time.Duration
 	Conflicts int64
+	Restarts  int64
+	// Resets counts garbage-collection rebuilds of the SAT core (see
+	// GarbageLimit).
+	Resets int64
 }
 
 // Solver accumulates assertions over terms from one bv.Builder.
-// It is single-shot per Check in the sense that each Check re-blasts
-// nothing (terms are cached) but runs a fresh SAT search over all
-// clauses added so far; additional assertions may be added between
-// checks (monotonically, like SMT-LIB assert without push/pop).
+// Each Check re-blasts nothing (terms are cached) and resumes the SAT
+// search over all clauses added so far: learned clauses, variable
+// activities, and saved phases survive across Checks. Assertions may be
+// added between checks, either permanently (like SMT-LIB assert) or
+// inside a retractable Push/Pop frame.
 type Solver struct {
 	B  *bv.Builder
 	bb *bitblast.Blaster
 	s  *sat.Solver
 
-	asserted []*bv.Term
+	// frames holds one activation literal per open Push frame. A frame
+	// assertion t becomes the guarded clause ¬act ∨ blast(t), and Check
+	// passes every open frame's act as an assumption; Pop permanently
+	// asserts ¬act, neutralizing the frame's clauses (and any learned
+	// clause derived from them, which contains ¬act as well since
+	// assumptions participate in conflict analysis as decisions).
+	frames []sat.Lit
+
+	// permanent records depth-0 assertions so they can be replayed when
+	// the SAT core is rebuilt.
+	permanent []*bv.Term
+	baseVars  int // SAT variables right after the last rebuild
+
+	// GarbageLimit bounds the dead weight a Pop may leave behind. Frame
+	// clauses are detached by Pop, but the Tseitin definitions blasting
+	// introduced for them are permanent, and a CDCL Sat answer must
+	// assign every allocated variable — so retired frames would slow
+	// every later Check even though they can no longer constrain it.
+	// When a Pop returns to depth 0 with more than GarbageLimit SAT
+	// variables beyond the permanent base, the solver rebuilds its SAT
+	// core and blaster and replays only the permanent assertions; the
+	// hash-consed term builder (the expensive symbolic layer) is shared
+	// and unaffected. 0 means DefaultGarbageLimit; negative disables
+	// rebuilds.
+	GarbageLimit int
+
+	// retired* fold the counters of rebuilt SAT cores / blasters into
+	// the totals reported by Stats and BlastStats.
+	retiredConflicts, retiredRestarts int64
+	retiredHits, retiredMisses        int64
 
 	Stats Stats
 }
+
+// DefaultGarbageLimit is the GarbageLimit used when the field is zero.
+const DefaultGarbageLimit = 1 << 11
 
 // NewSolver returns a solver for terms of the given builder.
 func NewSolver(b *bv.Builder) *Solver {
@@ -77,13 +114,90 @@ func NewSolver(b *bv.Builder) *Solver {
 	return &Solver{B: b, bb: bitblast.New(s), s: s}
 }
 
-// Assert adds a boolean term to the assertion set.
-func (s *Solver) Assert(t *bv.Term) {
-	s.asserted = append(s.asserted, t)
-	s.bb.Assert(t)
+// Push opens a retractable assertion frame: assertions made until the
+// matching Pop can be discarded without rebuilding the solver.
+func (s *Solver) Push() {
+	s.frames = append(s.frames, sat.MkLit(s.s.NewVar(), false))
 }
 
-// Check determines satisfiability of the asserted set under opts.
+// Pop retracts the innermost frame's assertions. Learned clauses,
+// activities, and phases acquired while the frame was open are kept.
+func (s *Solver) Pop() {
+	n := len(s.frames) - 1
+	if n < 0 {
+		panic("smt: Pop without matching Push")
+	}
+	act := s.frames[n]
+	s.frames = s.frames[:n]
+	s.s.AddClause(act.Not())
+	// With ¬act fixed, every clause of the frame (and every learnt
+	// clause derived from it) is satisfied at level 0; physically detach
+	// them so dead frames stop burdening propagation.
+	s.s.Simplify()
+	limit := s.GarbageLimit
+	if limit == 0 {
+		limit = DefaultGarbageLimit
+	}
+	if n == 0 && limit > 0 && s.s.NumVars()-s.baseVars > limit {
+		s.rebuild()
+	}
+}
+
+// rebuild garbage-collects the SAT core: a fresh solver and blaster are
+// built and the permanent assertions replayed. Only reachable (live)
+// terms are re-blasted; the retired frames' definitions are dropped.
+// Must only run at depth 0, where no activation literal is live.
+func (s *Solver) rebuild() {
+	s.Stats.Resets++
+	s.retiredConflicts += s.s.Stats.Conflicts
+	s.retiredRestarts += s.s.Stats.Restarts
+	s.retiredHits += s.bb.Hits
+	s.retiredMisses += s.bb.Misses
+	s.s.Recycle()
+	s.bb = bitblast.New(s.s)
+	for _, t := range s.permanent {
+		s.s.AddClause(s.bb.Blast(t)[0])
+	}
+	s.baseVars = s.s.NumVars()
+}
+
+// Reset drops every assertion — permanent and framed — and rebuilds
+// the SAT core. The shared term builder and accumulated statistics
+// survive. Callers whose assertion batches share no base (e.g. one
+// batch per synthesis multiset) should Reset between batches instead
+// of wrapping each batch in a Push/Pop frame: a permanent assertion is
+// a unit clause that propagates once at level 0, while a frame-guarded
+// one re-propagates under its assumption on every Check.
+func (s *Solver) Reset() {
+	s.frames = s.frames[:0]
+	s.permanent = s.permanent[:0]
+	s.rebuild()
+}
+
+// Depth reports the number of open Push frames.
+func (s *Solver) Depth() int { return len(s.frames) }
+
+// Assert adds a boolean term to the assertion set. Inside a Push frame
+// the assertion is retracted by the matching Pop; otherwise it is
+// permanent. Note the Tseitin definitions introduced by blasting t are
+// always permanent — they only constrain fresh variables, so keeping
+// them across frames is sound and is what makes the blast cache
+// reusable after a Pop.
+func (s *Solver) Assert(t *bv.Term) {
+	if !t.Sort.IsBool() {
+		panic("smt: asserting non-boolean term")
+	}
+	l := s.bb.Blast(t)[0]
+	if n := len(s.frames); n > 0 {
+		s.s.AddClause(s.frames[n-1].Not(), l)
+		return
+	}
+	s.permanent = append(s.permanent, t)
+	s.s.AddClause(l)
+}
+
+// Check determines satisfiability of the asserted set under opts,
+// assuming every open frame's assertions.
 func (s *Solver) Check(opts Options) (Result, error) {
 	s.Stats.Checks++
 	var so sat.Options
@@ -92,9 +206,10 @@ func (s *Solver) Check(opts Options) (Result, error) {
 		so.Deadline = time.Now().Add(opts.Timeout)
 	}
 	start := time.Now()
-	st, err := s.s.Solve(so)
+	st, err := s.s.Solve(so, s.frames...)
 	s.Stats.SatTime += time.Since(start)
-	s.Stats.Conflicts = s.s.Stats.Conflicts
+	s.Stats.Conflicts = s.retiredConflicts + s.s.Stats.Conflicts
+	s.Stats.Restarts = s.retiredRestarts + s.s.Stats.Restarts
 	switch st {
 	case sat.Sat:
 		return Sat, nil
@@ -105,6 +220,12 @@ func (s *Solver) Check(opts Options) (Result, error) {
 		return Unknown, ErrBudget
 	}
 	return Unknown, nil
+}
+
+// BlastStats reports the term-cache hit/miss counts of the underlying
+// bit-blaster.
+func (s *Solver) BlastStats() (hits, misses int64) {
+	return s.retiredHits + s.bb.Hits, s.retiredMisses + s.bb.Misses
 }
 
 // Value reads a term's value from the last Sat model. The term must

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -124,4 +125,147 @@ func TestBooleanModelValue(t *testing.T) {
 	if s.ModelValue("p", bv.Bool) != 1 {
 		t.Fatalf("p should be true in model")
 	}
+}
+
+func TestPushPopRetractsAfterSat(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	x := b.Var("x", bv.BitVec(8))
+	s.Assert(b.Eq(b.BvAnd(x, b.Const(0x0f, 8)), b.Const(3, 8)))
+
+	s.Push()
+	if s.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", s.Depth())
+	}
+	s.Assert(b.Eq(x, b.Const(0x13, 8)))
+	if res, _ := s.Check(Options{}); res != Sat {
+		t.Fatalf("framed x=0x13: %v, want sat", res)
+	}
+	if got := s.ModelValue("x", bv.BitVec(8)); got != 0x13 {
+		t.Fatalf("model x = %#x, want 0x13", got)
+	}
+	s.Pop()
+
+	// The frame's constraint must be gone: a contradictory value of x
+	// is satisfiable again.
+	s.Push()
+	s.Assert(b.Eq(x, b.Const(0x23, 8)))
+	if res, _ := s.Check(Options{}); res != Sat {
+		t.Fatalf("after Pop, framed x=0x23: %v, want sat", res)
+	}
+	s.Pop()
+}
+
+func TestPushPopRetractsAfterUnsat(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	x := b.Var("x", bv.BitVec(8))
+	s.Assert(b.Ult(x, b.Const(10, 8)))
+
+	s.Push()
+	s.Assert(b.Ult(b.Const(20, 8), x))
+	if res, _ := s.Check(Options{}); res != Unsat {
+		t.Fatalf("contradictory frame: %v, want unsat", res)
+	}
+	s.Pop()
+
+	// An Unsat answer inside a frame must not poison the solver: the
+	// permanent assertions alone are satisfiable.
+	if res, _ := s.Check(Options{}); res != Sat {
+		t.Fatalf("after popping unsat frame: %v, want sat", res)
+	}
+	if got := s.ModelValue("x", bv.BitVec(8)); got >= 10 {
+		t.Fatalf("model x = %d, want < 10", got)
+	}
+}
+
+func TestNestedFrames(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	x := b.Var("x", bv.BitVec(8))
+	s.Push()
+	s.Assert(b.Ult(x, b.Const(100, 8)))
+	s.Push()
+	s.Assert(b.Ult(b.Const(50, 8), x))
+	if s.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", s.Depth())
+	}
+	if res, _ := s.Check(Options{}); res != Sat {
+		t.Fatalf("nested frames: %v, want sat", res)
+	}
+	if got := s.ModelValue("x", bv.BitVec(8)); got <= 50 || got >= 100 {
+		t.Fatalf("model x = %d, want in (50, 100)", got)
+	}
+	s.Pop()
+	s.Push()
+	s.Assert(b.Eq(x, b.Const(7, 8))) // contradicts the popped frame only
+	if res, _ := s.Check(Options{}); res != Sat {
+		t.Fatalf("inner frame retracted: %v, want sat", res)
+	}
+	s.Pop()
+	s.Pop()
+	if s.Depth() != 0 {
+		t.Fatalf("Depth = %d, want 0", s.Depth())
+	}
+}
+
+func TestPopWithoutPushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop without Push did not panic")
+		}
+	}()
+	NewSolver(bv.NewBuilder()).Pop()
+}
+
+func TestResetDropsPermanentAssertions(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	x := b.Var("x", bv.BitVec(8))
+	s.Assert(b.Eq(x, b.Const(1, 8)))
+	s.Assert(b.Eq(x, b.Const(2, 8)))
+	if res, _ := s.Check(Options{}); res != Unsat {
+		t.Fatalf("contradictory permanents: %v, want unsat", res)
+	}
+	s.Reset()
+	if s.Stats.Resets == 0 {
+		t.Fatal("Reset did not count a rebuild")
+	}
+	// The builder's terms survive and can be re-asserted.
+	s.Assert(b.Eq(x, b.Const(2, 8)))
+	if res, _ := s.Check(Options{}); res != Sat {
+		t.Fatalf("after Reset: %v, want sat", res)
+	}
+	if got := s.ModelValue("x", bv.BitVec(8)); got != 2 {
+		t.Fatalf("model x = %d, want 2", got)
+	}
+}
+
+func TestGarbageRebuildPreservesPermanents(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	s.GarbageLimit = 16 // force a rebuild on nearly every Pop
+	x := b.Var("x", bv.BitVec(16))
+	s.Assert(b.Ult(x, b.Const(1000, 16)))
+	for i := 0; i < 20; i++ {
+		s.Push()
+		// Each frame blasts fresh structure so the variable count
+		// exceeds the garbage limit when it is popped.
+		y := b.Var(fmt.Sprintf("y%d", i), bv.BitVec(16))
+		s.Assert(b.Eq(b.BvMul(y, y), b.Const(uint64(i*i), 16)))
+		if res, _ := s.Check(Options{}); res != Sat {
+			t.Fatalf("frame %d: %v, want sat", i, res)
+		}
+		s.Pop()
+	}
+	if s.Stats.Resets == 0 {
+		t.Fatal("garbage limit never triggered a rebuild")
+	}
+	// The permanent assertion must have survived every rebuild.
+	s.Push()
+	s.Assert(b.Ult(b.Const(2000, 16), x))
+	if res, _ := s.Check(Options{}); res != Unsat {
+		t.Fatalf("permanent lost after rebuilds: %v, want unsat", res)
+	}
+	s.Pop()
 }

@@ -1,0 +1,17 @@
+#!/bin/sh
+# ci.sh: the repo's tier-1 gate — build, vet, and race-enabled tests.
+# Run from the repository root:
+#
+#   ./scripts/ci.sh
+#
+# The driver tests synthesize small libraries and take a minute or two;
+# pass extra `go test` arguments (e.g. -short, -run) after --.
+set -eu
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+# the driver tests synthesize libraries and run well past go test's
+# default 10m timeout under the race detector (their per-goal deadlines
+# scale up under race too; see internal/driver scaledTimeout)
+go test -race -timeout 60m "$@" ./...
