@@ -18,6 +18,7 @@
 package selgen_test
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -160,10 +161,10 @@ func BenchmarkIterativeVsClassicalCEGIS(b *testing.B) {
 				Deadline:           time.Now().Add(2 * time.Minute),
 			})
 			ps, err := e.CEGISAllPatterns(pool, goal)
-			if err != nil && err != cegis.ErrDeadline {
+			if err != nil && !errors.Is(err, cegis.ErrDeadline) {
 				b.Fatalf("classical: %v", err)
 			}
-			if err == cegis.ErrDeadline || e.Stats.QueryTimeouts > 0 {
+			if errors.Is(err, cegis.ErrDeadline) || e.Stats.QueryTimeouts > 0 {
 				b.ReportMetric(1, "timed_out")
 			}
 			b.ReportMetric(float64(len(ps)), "patterns")
@@ -238,7 +239,7 @@ func BenchmarkMemoryEncodingAblation(b *testing.B) {
 					Deadline:           time.Now().Add(3 * time.Minute),
 				})
 				res, err := e.Synthesize(g)
-				if err != nil && err != cegis.ErrDeadline {
+				if err != nil && !errors.Is(err, cegis.ErrDeadline) {
 					b.Fatalf("%s: %v", g.Name, err)
 				}
 				patterns += len(res.Patterns)

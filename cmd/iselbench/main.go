@@ -23,17 +23,41 @@ import (
 	"selgen/internal/cegis"
 	"selgen/internal/driver"
 	"selgen/internal/ir"
+	"selgen/internal/obs"
 	"selgen/internal/pattern"
 	"selgen/internal/sem"
 	"selgen/internal/x86"
 )
 
-// cegisBenchGoal is one goal's timing in the -json comparison.
+// cegisBenchPhase breaks one goal's solver effort down by query kind
+// (synthesis vs verification), from the observability layer's metrics.
+type cegisBenchPhase struct {
+	Queries   int64   `json:"queries"`
+	Conflicts int64   `json:"conflicts"`
+	TimeMS    float64 `json:"time_ms"`
+}
+
+// cegisBenchGoal is one goal's timing in the -json comparison. The
+// phase breakdowns describe the best incremental round.
 type cegisBenchGoal struct {
-	Goal          string  `json:"goal"`
-	Patterns      int     `json:"patterns"`
-	IncrementalMS float64 `json:"incremental_ms"`
-	FreshMS       float64 `json:"fresh_ms"`
+	Goal          string          `json:"goal"`
+	Patterns      int             `json:"patterns"`
+	IncrementalMS float64         `json:"incremental_ms"`
+	FreshMS       float64         `json:"fresh_ms"`
+	Synth         cegisBenchPhase `json:"synth"`
+	Verify        cegisBenchPhase `json:"verify"`
+}
+
+// phaseOf extracts one query kind's totals from a run's metrics.
+func phaseOf(reg *obs.Registry, kind string) cegisBenchPhase {
+	p := cegisBenchPhase{Queries: reg.CounterValue("cegis." + kind + "_queries")}
+	if h := reg.HistogramNamed(kind + ".conflicts"); h != nil {
+		p.Conflicts = h.Sum()
+	}
+	if h := reg.HistogramNamed(kind + ".us"); h != nil {
+		p.TimeMS = float64(h.Sum()) / 1000
+	}
+	return p
 }
 
 // cegisBench is the BENCH_cegis.json document.
@@ -61,32 +85,37 @@ func runCEGISBench(width int, path string) error {
 	}
 	const rounds = 5
 	out := cegisBench{Width: width, MaxLen: 2, Rounds: rounds}
-	run := func(g *sem.Instr, disable bool) (time.Duration, int, error) {
+	run := func(g *sem.Instr, disable bool) (time.Duration, int, cegisBenchPhase, cegisBenchPhase, error) {
 		best, patterns := time.Duration(0), 0
+		var synth, verify cegisBenchPhase
 		for r := 0; r < rounds; r++ {
+			tr := obs.New()
 			e := cegis.New(ir.Ops(), cegis.Config{
 				Width: width, MaxLen: 2, Seed: 1,
 				QueryConflicts:     200_000,
 				DisableIncremental: disable,
+				Obs:                tr,
 			})
 			start := time.Now()
 			res, err := e.Synthesize(g)
 			if err != nil {
-				return 0, 0, fmt.Errorf("%s: %w", g.Name, err)
+				return 0, 0, synth, verify, fmt.Errorf("%s: %w", g.Name, err)
 			}
 			if d := time.Since(start); r == 0 || d < best {
 				best = d
+				patterns = len(res.Patterns)
+				synth = phaseOf(tr.Metrics(), "synth")
+				verify = phaseOf(tr.Metrics(), "verify")
 			}
-			patterns = len(res.Patterns)
 		}
-		return best, patterns, nil
+		return best, patterns, synth, verify, nil
 	}
 	for _, g := range goals {
-		inc, patterns, err := run(g, false)
+		inc, patterns, synth, verify, err := run(g, false)
 		if err != nil {
 			return err
 		}
-		fresh, _, err := run(g, true)
+		fresh, _, _, _, err := run(g, true)
 		if err != nil {
 			return err
 		}
@@ -94,6 +123,8 @@ func runCEGISBench(width int, path string) error {
 			Goal: g.Name, Patterns: patterns,
 			IncrementalMS: float64(inc) / float64(time.Millisecond),
 			FreshMS:       float64(fresh) / float64(time.Millisecond),
+			Synth:         synth,
+			Verify:        verify,
 		})
 		out.IncrementalMS += float64(inc) / float64(time.Millisecond)
 		out.FreshMS += float64(fresh) / float64(time.Millisecond)

@@ -7,6 +7,7 @@
 //	selgen -setup basic -o rule-library.json
 //	selgen -setup full -width 8 -timeout 30s -o full.json
 //	selgen -setup bmi -v
+//	selgen -setup quick -trace trace.json   # Chrome trace_event output
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"selgen/internal/driver"
+	"selgen/internal/obs"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func main() {
 		maxPat  = flag.Int("max-patterns", 64, "max patterns per goal (0 = unlimited)")
 		seed    = flag.Int64("seed", 1, "test-case seed")
 		verbose = flag.Bool("v", false, "print per-goal progress")
+		trace   = flag.String("trace", "", "write a Chrome trace_event JSON file (view in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -40,16 +43,23 @@ func main() {
 		groups = driver.BMISetup()
 	case "rotate":
 		groups = driver.RotateSetup()
+	case "quick":
+		groups = driver.QuickSetup()
 	default:
-		fmt.Fprintf(os.Stderr, "selgen: unknown setup %q (want basic, full, bmi, or rotate)\n", *setup)
+		fmt.Fprintf(os.Stderr, "selgen: unknown setup %q (want basic, full, bmi, rotate, or quick)\n", *setup)
 		os.Exit(2)
 	}
 
+	tracer := obs.New()
+	if *trace != "" {
+		tracer.EnableTrace()
+	}
 	opts := driver.Options{
 		Width:              *width,
 		PerGoalTimeout:     *timeout,
 		MaxPatternsPerGoal: *maxPat,
 		Seed:               *seed,
+		Obs:                tracer,
 	}
 	if *verbose {
 		opts.Progress = os.Stderr
@@ -60,6 +70,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(tf); err != nil {
+			fmt.Fprintf(os.Stderr, "selgen: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tf.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "selgen: trace with %d events written to %s\n", tracer.NumEvents(), *trace)
 	}
 
 	f, err := os.Create(*out)

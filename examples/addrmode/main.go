@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -42,7 +43,7 @@ func main() {
 			Deadline:           time.Now().Add(time.Minute),
 		})
 		res, err := engine.Synthesize(goal)
-		if err != nil && err != cegis.ErrDeadline {
+		if err != nil && !errors.Is(err, cegis.ErrDeadline) {
 			log.Fatalf("%s: %v", goal.Name, err)
 		}
 		fmt.Printf("%-16s %d minimal patterns (size %d) in %s\n",

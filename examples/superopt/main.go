@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -79,7 +80,7 @@ func main() {
 			Deadline:     time.Now().Add(2 * time.Minute),
 		})
 		res, err := e.Synthesize(p)
-		if err != nil && err != cegis.ErrDeadline {
+		if err != nil && !errors.Is(err, cegis.ErrDeadline) {
 			log.Fatalf("%s: %v", p.Name, err)
 		}
 		fmt.Printf("%-26s shortest programs use %d IR ops (%s, %d counterexamples):\n",

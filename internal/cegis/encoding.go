@@ -140,6 +140,7 @@ func newEnc(cfg Config, goal *sem.Instr, comps []*sem.Instr, sc *synthCtx) (*enc
 		b = bv.NewBuilder()
 		b.Simplify = !cfg.DisableTermSimplify
 		solver = smt.NewSolver(b)
+		solver.Obs = cfg.Obs
 	}
 	e := &enc{
 		cfg:    cfg,

@@ -3,11 +3,13 @@ package cegis
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"time"
 
 	"selgen/internal/bv"
 	"selgen/internal/memmodel"
+	"selgen/internal/obs"
 	"selgen/internal/pattern"
 	"selgen/internal/sem"
 	"selgen/internal/smt"
@@ -68,6 +70,10 @@ type Config struct {
 	// builder/blaster/solver per multiset and per verification query, no
 	// counterexample carry-forward) — the incremental-solving ablation.
 	DisableIncremental bool
+	// Obs, when non-nil, receives spans (per goal, multiset, and
+	// synthesis/verification query) and counter/histogram metrics that
+	// subsume the Stats totals. Nil disables all instrumentation.
+	Obs *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +125,12 @@ type Engine struct {
 	cfg Config
 	ops []*sem.Instr
 
+	// obs mirrors Stats into the tracer's metric registry and emits
+	// spans; nil when no tracer is configured (every call is a no-op).
+	// tid is the trace timeline of the goal currently being synthesized.
+	obs *obs.Tracer
+	tid int64
+
 	// Stats accumulate across Synthesize calls.
 	Stats Stats
 
@@ -141,6 +153,7 @@ func New(ops []*sem.Instr, cfg Config) *Engine {
 	return &Engine{
 		cfg:       cfg.withDefaults(),
 		ops:       ops,
+		obs:       cfg.Obs,
 		verifiers: make(map[*sem.Instr]*verifier),
 		synths:    make(map[*sem.Instr]*synthCtx),
 		cexes:     make(map[*sem.Instr]*cexCache),
@@ -165,10 +178,20 @@ func (e *Engine) queryOpts() smt.Options {
 	return o
 }
 
+// nameSalt derives a deterministic per-name salt for RNG seeding.
+// FNV-1a over the full name, so distinct goals get distinct pseudo-
+// random streams even when their names have equal length (deriving the
+// salt from len(name) collided e.g. "175.vpr" with "181.mcf").
+func nameSalt(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
 // seedTests builds the initial test-case set for a goal: zeros, all
 // ones, and deterministic pseudorandom vectors.
 func (e *Engine) seedTests(goal *sem.Instr) [][]uint64 {
-	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(len(goal.Name))<<7))
+	rng := rand.New(rand.NewSource(e.cfg.Seed ^ nameSalt(goal.Name)))
 	n := len(goal.Args)
 	var out [][]uint64
 	zero := make([]uint64, n)
@@ -201,18 +224,38 @@ func (e *Engine) seedTests(goal *sem.Instr) [][]uint64 {
 // retractable solver frame. Under Config.DisableIncremental a fresh
 // context is built per call (the pre-incremental behaviour).
 func (e *Engine) verify(goal *sem.Instr, p *pattern.Pattern) (cex []uint64, ok bool, err error) {
-	e.Stats.VerifyQueries++
-	if e.cfg.DisableIncremental {
-		v := e.newVerifier(goal)
-		defer e.retireVerify(v.solver)
-		v.assertCandidate(e, p)
-		return v.check(e, goal)
+	// Check the deadline before building and blasting the candidate's
+	// violation formula: a fresh verification context can take longer
+	// to construct than a short per-goal budget allows.
+	if e.deadlineExceeded() {
+		return nil, false, ErrDeadline
 	}
-	v := e.verifierFor(goal)
-	v.solver.Push()
-	defer v.solver.Pop()
+	e.Stats.VerifyQueries++
+	e.obs.Add("cegis.verify_queries", 1)
+	sp := e.obs.Span(e.tid, "verify", obs.Str("goal", goal.Name))
+	var v *verifier
+	if e.cfg.DisableIncremental {
+		v = e.newVerifier(goal)
+		defer e.retireVerify(v.solver)
+	} else {
+		v = e.verifierFor(goal)
+		v.solver.Push()
+		defer v.solver.Pop()
+	}
+	c0 := v.solver.Stats.Conflicts
 	v.assertCandidate(e, p)
-	return v.check(e, goal)
+	cex, ok, err = v.check(e, goal)
+	result := "cex"
+	switch {
+	case ok:
+		result = "ok"
+	case err != nil:
+		result = "error"
+	}
+	dc := v.solver.Stats.Conflicts - c0
+	sp.End(obs.Str("result", result), obs.Int("conflicts", dc))
+	e.obs.Observe("verify.conflicts", dc)
+	return cex, ok, err
 }
 
 // CEGISAllPatterns runs the §5.3 loop over one component multiset:
@@ -223,8 +266,30 @@ func (e *Engine) CEGISAllPatterns(comps []*sem.Instr, goal *sem.Instr) ([]patter
 	return e.cegisAllPatterns(comps, goal, e.cfg.MaxPatternsPerGoal)
 }
 
-func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget int) ([]pattern.Pattern, error) {
+func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget int) (found []pattern.Pattern, reterr error) {
+	// Check before encoding: building and blasting a multiset encoding
+	// is the expensive pre-search step a tight deadline must preempt.
+	if e.deadlineExceeded() {
+		return nil, ErrDeadline
+	}
 	e.Stats.MultisetsTried++
+	e.obs.Add("cegis.multisets_tried", 1)
+	msp := e.obs.Span(e.tid, "multiset",
+		obs.Str("goal", goal.Name), obs.Int("len", int64(len(comps))))
+	// The multiset span's closing labels report how much of the blast
+	// work this enumeration found already cached (the payoff of the
+	// shared term builder / blast cache across multisets).
+	var blastH0, blastM0 int64
+	var spanSolver *smt.Solver
+	defer func() {
+		var hits, misses int64
+		if msp.Active() && spanSolver != nil {
+			h, m := spanSolver.BlastStats()
+			hits, misses = h-blastH0, m-blastM0
+		}
+		msp.End(obs.Int("patterns", int64(len(found))),
+			obs.Int("blast_hits", hits), obs.Int("blast_misses", misses))
+	}()
 	var sc *synthCtx
 	var cache *cexCache
 	if !e.cfg.DisableIncremental {
@@ -243,6 +308,9 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 		sc = e.synthCtxFor(goal)
 		cache = e.cexCacheFor(goal)
 		defer sc.solver.Reset()
+		if msp.Active() {
+			blastH0, blastM0 = sc.solver.BlastStats()
+		}
 	}
 	en, err := newEnc(e.cfg, goal, comps, sc)
 	if err != nil {
@@ -252,6 +320,7 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 		}
 		return nil, err
 	}
+	spanSolver = en.solver
 	if sc == nil {
 		defer e.retireSynth(en.solver)
 	}
@@ -293,7 +362,6 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 		}
 	}
 
-	var found []pattern.Pattern
 	seen := make(map[string]bool)
 	for {
 		if e.deadlineExceeded() {
@@ -303,7 +371,14 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 			return found, nil
 		}
 		e.Stats.SynthQueries++
+		e.obs.Add("cegis.synth_queries", 1)
+		qsp := e.obs.Span(e.tid, "synth",
+			obs.Str("goal", goal.Name), obs.Int("len", int64(len(comps))))
+		c0 := en.solver.Stats.Conflicts
 		res, cerr := en.solver.Check(e.queryOpts())
+		dc := en.solver.Stats.Conflicts - c0
+		qsp.End(obs.Str("result", res.String()), obs.Int("conflicts", dc))
+		e.obs.Observe("synth.conflicts", dc)
 		if res == smt.Unsat {
 			return found, nil // all patterns over this multiset found
 		}
@@ -317,6 +392,7 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 				// (the paper's timeout policy; soundness is unaffected
 				// because only verified patterns are ever emitted).
 				e.Stats.QueryTimeouts++
+				e.obs.Add("cegis.query_timeouts", 1)
 				return found, nil
 			}
 			return found, fmt.Errorf("cegis: synthesis unknown for %s", goal.Name)
@@ -340,8 +416,10 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 					asserted[k] = true
 					fresh++
 					e.Stats.PrefilterKills++
+					e.obs.Add("cegis.prefilter_kills", 1)
 					if cache.seen[k] {
 						e.Stats.CexReused++
+						e.obs.Add("cegis.cex_reused", 1)
 					}
 					en.addTestCase(killer)
 				}
@@ -365,6 +443,7 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 				// (exclude it and move on) rather than abandoning the
 				// whole multiset enumeration.
 				e.Stats.QueryTimeouts++
+				e.obs.Add("cegis.query_timeouts", 1)
 				en.exclude(a)
 				continue
 			}
@@ -372,6 +451,7 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 		}
 		if !ok {
 			e.Stats.Counterexamples++
+			e.obs.Add("cegis.counterexamples", 1)
 			if cache != nil {
 				cache.add(cex)
 				asserted[cexKey(cex)] = true
@@ -386,6 +466,7 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 			seen[key] = true
 			found = append(found, cand)
 			e.Stats.Patterns++
+			e.obs.Add("cegis.patterns", 1)
 		}
 	}
 }
@@ -403,8 +484,39 @@ type Result struct {
 
 // Synthesize runs iterative CEGIS (Algorithm 2) for one goal: it
 // enumerates ℓ-multicombinations of the operation set for increasing ℓ
-// and returns all patterns of minimal size.
+// and returns all patterns of minimal size. A deadline abort is
+// reported as an error wrapping ErrDeadline (classify with errors.Is).
 func (e *Engine) Synthesize(goal *sem.Instr) (*Result, error) {
+	return e.runGoal(goal, "minimal", e.synthesizeMinimal)
+}
+
+// SynthesizeAllSizes is like Synthesize but keeps enumerating larger
+// multisets up to MaxLen instead of stopping at the minimal size,
+// aggregating every pattern found (the "full setup" behaviour).
+func (e *Engine) SynthesizeAllSizes(goal *sem.Instr) (*Result, error) {
+	return e.runGoal(goal, "all-sizes", e.synthesizeAllSizes)
+}
+
+// runGoal brackets one goal synthesis with a trace timeline and span,
+// and wraps a deadline abort with the goal's name at the public
+// boundary, so callers see which goal timed out and must classify the
+// error with errors.Is rather than comparing identity.
+func (e *Engine) runGoal(goal *sem.Instr, mode string, f func(*sem.Instr) (*Result, error)) (*Result, error) {
+	if e.obs != nil {
+		e.tid = e.obs.NewTID("goal " + goal.Name)
+	}
+	sp := e.obs.Span(e.tid, "goal",
+		obs.Str("goal", goal.Name), obs.Str("mode", mode))
+	res, err := f(goal)
+	sp.End(obs.Int("patterns", int64(len(res.Patterns))),
+		obs.Int("min_len", int64(res.MinLen)))
+	if err == ErrDeadline {
+		err = fmt.Errorf("cegis: goal %s: %w", goal.Name, err)
+	}
+	return res, err
+}
+
+func (e *Engine) synthesizeMinimal(goal *sem.Instr) (*Result, error) {
 	start := time.Now()
 	res := &Result{Goal: goal}
 
@@ -437,10 +549,7 @@ func (e *Engine) Synthesize(goal *sem.Instr) (*Result, error) {
 	return res, nil
 }
 
-// SynthesizeAllSizes is like Synthesize but keeps enumerating larger
-// multisets up to MaxLen instead of stopping at the minimal size,
-// aggregating every pattern found (the "full setup" behaviour).
-func (e *Engine) SynthesizeAllSizes(goal *sem.Instr) (*Result, error) {
+func (e *Engine) synthesizeAllSizes(goal *sem.Instr) (*Result, error) {
 	start := time.Now()
 	res := &Result{Goal: goal, MinLen: -1}
 	required := e.requiredMemOps(goal)
@@ -568,6 +677,7 @@ func (e *Engine) AnalyzeMemoryNeeds(goal *sem.Instr) (needLoad, needStore bool) 
 	check := func(flags bool) bool {
 		b := bv.NewBuilder()
 		solver := smt.NewSolver(b)
+		solver.Obs = e.obs
 		defer e.retireSolver(solver)
 		ctx := &sem.Ctx{B: b, Width: e.cfg.Width}
 		va := make([]*bv.Term, len(goal.Args))
@@ -640,6 +750,7 @@ func (e *Engine) skipMultiset(goal *sem.Instr, comps []*sem.Instr) bool {
 		}
 		if !hasSource {
 			e.Stats.SkippedNoSource++
+			e.obs.Add("cegis.skipped_no_source", 1)
 			return true
 		}
 	}
@@ -673,6 +784,7 @@ func (e *Engine) skipMultiset(goal *sem.Instr, comps []*sem.Instr) bool {
 		}
 		if consumers < producers {
 			e.Stats.SkippedConsumers++
+			e.obs.Add("cegis.skipped_consumers", 1)
 			return true
 		}
 	}
@@ -705,6 +817,7 @@ func (e *Engine) skipMultiset(goal *sem.Instr, comps []*sem.Instr) bool {
 		}
 		if !has {
 			e.Stats.SkippedNoSource++
+			e.obs.Add("cegis.skipped_no_source", 1)
 			return true
 		}
 	}
@@ -716,6 +829,7 @@ func (e *Engine) skipMultiset(goal *sem.Instr, comps []*sem.Instr) bool {
 		for _, c := range comps {
 			if c.AccessesMemory() {
 				e.Stats.SkippedNoMemOps++
+				e.obs.Add("cegis.skipped_no_mem_ops", 1)
 				return true
 			}
 		}

@@ -1,6 +1,8 @@
 package cegis
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -246,8 +248,51 @@ func TestDeadlineAborts(t *testing.T) {
 	e := New(ir.Ops(), Config{Width: 8, MaxLen: 3, Seed: 1,
 		Deadline: time.Now().Add(-time.Second)})
 	_, err := e.Synthesize(x86.AddInstr())
-	if err != ErrDeadline {
-		t.Fatalf("expected ErrDeadline, got %v", err)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expected an error wrapping ErrDeadline, got %v", err)
+	}
+	// The public boundary wraps the sentinel with the goal's name, so
+	// callers that compare by identity (the old driver bug) would
+	// misclassify a timeout as a fatal error.
+	if err == ErrDeadline {
+		t.Fatalf("deadline error should be wrapped with the goal name")
+	}
+	if !strings.Contains(err.Error(), x86.AddInstr().Name) {
+		t.Fatalf("deadline error should name the goal: %v", err)
+	}
+}
+
+// TestSeedTestsDivergePerGoal guards the per-goal RNG salt: deriving
+// it from len(goal.Name) gave equal-length names (e.g. "add"/"and")
+// identical seed-test streams; the salt now hashes the full name.
+func TestSeedTestsDivergePerGoal(t *testing.T) {
+	e := testEngine(t, 2)
+	add, and := x86.AddInstr(), x86.AndInstr()
+	if len(add.Name) != len(and.Name) || len(add.Args) != len(and.Args) {
+		t.Fatalf("test needs equal-length names and arities: %q %q", add.Name, and.Name)
+	}
+	ta, tb := e.seedTests(add), e.seedTests(and)
+	// The first two rows (all-zeros, all-ones) are shared by design;
+	// the pseudorandom rows must differ between goals.
+	same := true
+	for i := 2; i < len(ta); i++ {
+		for j := range ta[i] {
+			if ta[i][j] != tb[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatalf("equal-length goal names must not share a seed-test stream")
+	}
+	// Determinism per goal is unaffected.
+	ta2 := e.seedTests(add)
+	for i := range ta {
+		for j := range ta[i] {
+			if ta[i][j] != ta2[i][j] {
+				t.Fatalf("seed tests not deterministic")
+			}
+		}
 	}
 }
 

@@ -40,6 +40,7 @@ func (e *Engine) newVerifier(goal *sem.Instr) *verifier {
 		solver: smt.NewSolver(b),
 		ctx:    &sem.Ctx{B: b, Width: e.cfg.Width},
 	}
+	v.solver.Obs = e.obs
 	// The verification world (goal semantics, memory model) is blasted
 	// lazily under the first candidate's frame, so a garbage-collection
 	// rebuild makes the next candidate re-blast all of it. Give the
@@ -165,6 +166,7 @@ func (e *Engine) synthCtxFor(goal *sem.Instr) *synthCtx {
 		b := bv.NewBuilder()
 		b.Simplify = !e.cfg.DisableTermSimplify
 		sc = &synthCtx{b: b, solver: smt.NewSolver(b)}
+		sc.solver.Obs = e.obs
 		e.synths[goal] = sc
 		e.liveSolvers = append(e.liveSolvers, sc.solver)
 	}

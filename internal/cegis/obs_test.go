@@ -1,0 +1,131 @@
+package cegis
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"selgen/internal/ir"
+	"selgen/internal/obs"
+	"selgen/internal/sem"
+	"selgen/internal/x86"
+)
+
+// TestObsMetricsAgreeWithStats runs a quickstart-style synthesis with
+// the observability layer attached and checks the registry's counters
+// against the engine's legacy Stats totals, and the recorded trace
+// against the query counts: every synthesis and verification query
+// must appear as exactly one span.
+func TestObsMetricsAgreeWithStats(t *testing.T) {
+	tr := obs.New()
+	tr.EnableTrace()
+	e := New(ir.Ops(), Config{
+		Width: 8, MaxLen: 2, Seed: 1,
+		QueryConflicts: 200_000,
+		Obs:            tr,
+	})
+	goals := []*sem.Instr{x86.Inc(), x86.Andn(), x86.AddInstr()}
+	for _, g := range goals {
+		if _, err := e.Synthesize(g); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+	}
+	if e.Stats.SynthQueries == 0 || e.Stats.VerifyQueries == 0 || e.Stats.Patterns == 0 {
+		t.Fatalf("run did no work: %+v", e.Stats)
+	}
+
+	reg := tr.Metrics()
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{"cegis.synth_queries", e.Stats.SynthQueries},
+		{"cegis.verify_queries", e.Stats.VerifyQueries},
+		{"cegis.counterexamples", e.Stats.Counterexamples},
+		{"cegis.multisets_tried", e.Stats.MultisetsTried},
+		{"cegis.skipped_no_source", e.Stats.SkippedNoSource},
+		{"cegis.skipped_consumers", e.Stats.SkippedConsumers},
+		{"cegis.skipped_no_mem_ops", e.Stats.SkippedNoMemOps},
+		{"cegis.query_timeouts", e.Stats.QueryTimeouts},
+		{"cegis.cex_reused", e.Stats.CexReused},
+		{"cegis.prefilter_kills", e.Stats.PrefilterKills},
+		{"cegis.patterns", e.Stats.Patterns},
+	} {
+		if got := reg.CounterValue(c.name); got != c.want {
+			t.Errorf("counter %s = %d, legacy Stats say %d", c.name, got, c.want)
+		}
+	}
+	// None of these goals access memory, so every smt check is either a
+	// synthesis or a verification query.
+	if got, want := reg.CounterValue("smt.checks"), e.Stats.SynthQueries+e.Stats.VerifyQueries; got != want {
+		t.Errorf("smt.checks = %d, want synth+verify = %d", got, want)
+	}
+	// The query-latency histograms must have one sample per query.
+	if h := reg.HistogramNamed("synth.us"); h == nil || h.Count() != e.Stats.SynthQueries {
+		t.Errorf("synth.us histogram count mismatch")
+	}
+	if h := reg.HistogramNamed("verify.us"); h == nil || h.Count() != e.Stats.VerifyQueries {
+		t.Errorf("verify.us histogram count mismatch")
+	}
+
+	// The trace must contain a span for every query: parse the Chrome
+	// export and count complete ("X") events by name.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spans := map[string]int64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans[ev.Name]++
+		}
+	}
+	if spans["synth"] != e.Stats.SynthQueries {
+		t.Errorf("trace has %d synth spans, Stats say %d queries", spans["synth"], e.Stats.SynthQueries)
+	}
+	if spans["verify"] != e.Stats.VerifyQueries {
+		t.Errorf("trace has %d verify spans, Stats say %d queries", spans["verify"], e.Stats.VerifyQueries)
+	}
+	if spans["multiset"] != e.Stats.MultisetsTried {
+		t.Errorf("trace has %d multiset spans, Stats say %d tried", spans["multiset"], e.Stats.MultisetsTried)
+	}
+	if spans["goal"] != int64(len(goals)) {
+		t.Errorf("trace has %d goal spans, want %d", spans["goal"], len(goals))
+	}
+}
+
+// TestObsDisabledIsIdentical checks that attaching no tracer changes
+// nothing about the synthesis outcome (same patterns, same Stats).
+func TestObsDisabledIsIdentical(t *testing.T) {
+	run := func(tr *obs.Tracer) (*Result, Stats) {
+		e := New(ir.Ops(), Config{Width: 8, MaxLen: 2, Seed: 1,
+			QueryConflicts: 200_000, Obs: tr})
+		res, err := e.Synthesize(x86.Andn())
+		if err != nil {
+			t.Fatalf("synthesize: %v", err)
+		}
+		return res, e.Stats
+	}
+	rOff, sOff := run(nil)
+	rOn, sOn := run(obs.New())
+	if sOff != sOn {
+		t.Fatalf("stats diverge with tracer attached:\noff %+v\non  %+v", sOff, sOn)
+	}
+	if len(rOff.Patterns) != len(rOn.Patterns) {
+		t.Fatalf("pattern count diverges: %d vs %d", len(rOff.Patterns), len(rOn.Patterns))
+	}
+	for i := range rOff.Patterns {
+		if rOff.Patterns[i].Canon() != rOn.Patterns[i].Canon() {
+			t.Fatalf("pattern %d diverges with tracer attached", i)
+		}
+	}
+}

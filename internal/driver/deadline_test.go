@@ -1,0 +1,51 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"selgen/internal/cegis"
+	"selgen/internal/sem"
+	"selgen/internal/x86"
+)
+
+// TestRunSurvivesGoalDeadline is the regression test for the driver's
+// timeout classification: the engine reports an expired per-goal
+// deadline as an error *wrapping* cegis.ErrDeadline (with the goal
+// name), so comparing the sentinel by identity — the old code — made
+// Run abort the whole run with a fatal error instead of recording a
+// timed-out goal with zero patterns.
+func TestRunSurvivesGoalDeadline(t *testing.T) {
+	groups := []Group{{
+		Name:   "T",
+		Goals:  []*sem.Instr{x86.AddInstr()},
+		MaxLen: 2,
+	}}
+	lib, rep, err := Run(groups, Options{
+		Width: 8, Seed: 1, PerGoalTimeout: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatalf("a per-goal timeout must not abort the run: %v", err)
+	}
+	if len(lib.Rules) != 0 || rep.Total.Patterns != 0 {
+		t.Fatalf("an instantly-expired deadline should yield no patterns, got %d", rep.Total.Patterns)
+	}
+	if rep.Metrics == nil {
+		t.Fatalf("Run must always populate Report.Metrics")
+	}
+}
+
+// The engine's public boundary must emit a wrapped (non-identical)
+// sentinel — the property the driver relies on errors.Is for.
+func TestEngineWrapsDeadline(t *testing.T) {
+	e := cegis.New(nil, cegis.Config{Width: 8, MaxLen: 1, Seed: 1,
+		Deadline: time.Now().Add(-time.Second)})
+	_, err := e.Synthesize(x86.AddInstr())
+	if err == cegis.ErrDeadline {
+		t.Fatalf("deadline error should be wrapped, not the bare sentinel")
+	}
+	if !errors.Is(err, cegis.ErrDeadline) {
+		t.Fatalf("wrapped deadline must satisfy errors.Is: %v", err)
+	}
+}

@@ -6,12 +6,14 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"selgen/internal/cegis"
 	"selgen/internal/ir"
+	"selgen/internal/obs"
 	"selgen/internal/pattern"
 	"selgen/internal/sem"
 	"selgen/internal/x86"
@@ -110,10 +112,14 @@ func effortOf(e *cegis.Engine) SolverEffort {
 type Report struct {
 	Groups []GroupReport
 	Total  GroupReport
+	// Metrics is the run's metric registry (counters and latency /
+	// conflict histograms collected by the observability layer).
+	Metrics *obs.Registry
 }
 
 // WriteTable renders the report like the paper's Table 2, followed by
-// a solver-effort section (queries, conflicts, cache effectiveness).
+// a solver-effort section (queries, conflicts, cache effectiveness)
+// and, when metrics were collected, the registry's histogram summary.
 func (r *Report) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "%-12s %7s %9s %5s %14s\n", "Group", "#Goals", "Patterns", "Size", "Synthesis Time")
 	for _, g := range r.Groups {
@@ -126,6 +132,10 @@ func (r *Report) WriteTable(w io.Writer) {
 		writeEffortRow(w, g.Name, g.Solver)
 	}
 	writeEffortRow(w, "Total", r.Total.Solver)
+	if r.Metrics != nil {
+		fmt.Fprintln(w)
+		r.Metrics.WriteSummary(w)
+	}
 }
 
 func writeEffortRow(w io.Writer, name string, s SolverEffort) {
@@ -213,6 +223,21 @@ func BMISetup() []Group {
 	return []Group{{Name: "BMI", Goals: x86.BMIGroup(), MaxLen: 3, AllSizes: true}}
 }
 
+// QuickSetup returns a small smoke-test group (the quickstart goals):
+// seconds of synthesis, exercising register, memory, and flags goals.
+// CI uses it to validate end-to-end runs and trace output cheaply.
+func QuickSetup() []Group {
+	return []Group{{
+		Name: "Quick",
+		Goals: []*sem.Instr{
+			x86.Inc(), x86.Andn(), x86.AddInstr(),
+			x86.BinMemSrc(x86.AddInstr(), x86.AM{Base: true}),
+			x86.CmpJcc(x86.CCB),
+		},
+		MaxLen: 2,
+	}}
+}
+
 // Options configure a run.
 type Options struct {
 	Width int
@@ -231,6 +256,11 @@ type Options struct {
 	Parallel int
 	// Progress, when non-nil, receives per-goal progress lines.
 	Progress io.Writer
+	// Obs, when non-nil, collects spans and metrics for the run. Run
+	// creates a metrics-only tracer when nil, so Report.Metrics is
+	// always populated; attach trace/progress sinks to a caller-owned
+	// tracer (see cmd/selgen's -trace flag).
+	Obs *obs.Tracer
 }
 
 // Run synthesizes all groups into one library.
@@ -244,8 +274,15 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 		// abandoned (Stats.QueryTimeouts) rather than stalling the run.
 		opts.QueryConflicts = 200_000
 	}
+	tr := opts.Obs
+	if tr == nil {
+		tr = obs.New() // metrics-only: no trace events, no progress sink
+	}
+	if opts.Progress != nil {
+		tr.SetProgress(opts.Progress)
+	}
 	lib := &pattern.Library{Width: opts.Width}
-	rep := &Report{}
+	rep := &Report{Metrics: tr.Metrics()}
 	ops := ir.Ops()
 
 	workers := opts.Parallel
@@ -255,6 +292,8 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 
 	for _, grp := range groups {
 		gr := GroupReport{Name: grp.Name, Goals: len(grp.Goals)}
+		gsp := tr.Span(0, "group", obs.Str("group", grp.Name),
+			obs.Int("goals", int64(len(grp.Goals))))
 		start := time.Now()
 
 		type goalOut struct {
@@ -288,6 +327,7 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 					MaxPatternsPerMultiset: grp.MaxPatternsPerMultiset,
 					FreezeArgWitnesses:     grp.FreezeArgWitnesses,
 					Seed:                   opts.Seed,
+					Obs:                    tr,
 				}
 				if opts.PerGoalTimeout > 0 {
 					cfg.Deadline = time.Now().Add(opts.PerGoalTimeout)
@@ -307,7 +347,10 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 
 		for gi, goal := range grp.Goals {
 			res, err := outs[gi].res, outs[gi].err
-			if err != nil && err != cegis.ErrDeadline {
+			// The engine wraps ErrDeadline with the goal name, so this
+			// must classify with errors.Is: an identity comparison would
+			// turn every per-goal timeout into a fatal run abort.
+			if err != nil && !errors.Is(err, cegis.ErrDeadline) {
 				return nil, nil, fmt.Errorf("driver: %s/%s: %w", grp.Name, goal.Name, err)
 			}
 			for _, p := range res.Patterns {
@@ -320,11 +363,11 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 			gr.Solver.add(outs[gi].effort)
 			if opts.Progress != nil {
 				status := ""
-				if err == cegis.ErrDeadline {
+				if errors.Is(err, cegis.ErrDeadline) {
 					status = " (timeout)"
 				}
 				ef := outs[gi].effort
-				fmt.Fprintf(opts.Progress,
+				tr.Progressf(
 					"  %-24s %4d patterns in %s%s [checks %d+%d, conflicts %d, blast %.0f%%, cex reuse %d, kills %d, timeouts %d]\n",
 					goal.Name, len(res.Patterns), res.Elapsed.Round(time.Millisecond), status,
 					ef.SynthQueries, ef.VerifyQueries, ef.Conflicts,
@@ -332,6 +375,7 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 			}
 		}
 		gr.Elapsed = time.Since(start)
+		gsp.End(obs.Int("patterns", int64(gr.Patterns)))
 		rep.Groups = append(rep.Groups, gr)
 		rep.Total.Goals += gr.Goals
 		rep.Total.Patterns += gr.Patterns

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format's
+// traceEvents array (the "JSON Array Format" consumed by
+// chrome://tracing and Perfetto). Timestamps and durations are in
+// microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const tracePID = 1
+
+// WriteChromeTrace exports all recorded events as Chrome trace_event
+// JSON. Completed spans become "X" (complete) events, instants become
+// "i" events, and each named TID gets a thread_name metadata record so
+// viewers label the timelines.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	t.mu.Lock()
+	events := append([]event{}, t.events...)
+	threads := make(map[int64]string, len(t.threads))
+	for id, name := range t.threads {
+		threads[id] = name
+	}
+	t.mu.Unlock()
+
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	tids := make([]int64, 0, len(threads))
+	for id := range threads {
+		tids = append(tids, id)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, id := range tids {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: id,
+			Args: map[string]any{"name": threads[id]},
+		})
+	}
+	// Stable order: by start time, then longer (outer) spans first so
+	// nesting checks and viewers see parents before children.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].start != events[j].start {
+			return events[i].start < events[j].start
+		}
+		return events[i].dur > events[j].dur
+	})
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.name,
+			Cat:  "selgen",
+			TS:   float64(ev.start.Microseconds()),
+			PID:  tracePID,
+			TID:  ev.tid,
+		}
+		if ev.instant {
+			ce.Ph = "i"
+			ce.S = "t"
+		} else {
+			ce.Ph = "X"
+			ce.Dur = float64(ev.dur.Microseconds())
+			if ce.Dur == 0 {
+				ce.Dur = 1 // sub-µs spans still render
+			}
+		}
+		if len(ev.args) > 0 {
+			ce.Args = make(map[string]any, len(ev.args))
+			for _, a := range ev.args {
+				ce.Args[a.Key] = a.Value()
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

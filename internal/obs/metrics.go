@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic int64 metric, safe for concurrent use.
+type Counter struct{ n atomic.Int64 }
+
+// Add bumps the counter by delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Histogram records an int64 value distribution in exponential
+// (power-of-two) buckets: bucket i counts values v with bit length i
+// (non-positive values land in bucket 0). It keeps exact count, sum,
+// min and max; quantiles are bucket-resolution estimates.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      int64
+	min, max int64
+	buckets  [65]int64
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { h.mu.Lock(); defer h.mu.Unlock(); return h.count }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { h.mu.Lock(); defer h.mu.Unlock(); return h.sum }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() int64 { h.mu.Lock(); defer h.mu.Unlock(); return h.min }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 { h.mu.Lock(); defer h.mu.Unlock(); return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the upper bound of
+// the bucket where the cumulative count crosses q, clamped to the
+// exact min/max. Exact for q=0 and q=1.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum > rank {
+			// Upper bound of bucket i is 2^i − 1 (bucket 0 holds ≤ 0).
+			var ub int64
+			if i > 0 {
+				ub = int64(1)<<uint(i) - 1
+			}
+			if ub > h.max {
+				ub = h.max
+			}
+			if ub < h.min {
+				ub = h.min
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// Registry holds named counters and histograms. The zero value is not
+// usable; create with NewRegistry (Tracer.Metrics owns one).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
+// CounterValue reads a counter without creating it (0 when absent).
+func (r *Registry) CounterValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// HistogramNamed reads a histogram without creating it (nil when
+// absent or when the registry is nil).
+func (r *Registry) HistogramNamed(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hists[name]
+}
+
+// CounterNames returns the sorted names of all counters.
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns the sorted names of all histograms.
+func (r *Registry) HistogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteSummary renders a text metrics report: one histogram row per
+// span/query distribution (count, mean, p50, p90, p99, max) followed
+// by the plain counters. Intended for the driver's report tables.
+func (r *Registry) WriteSummary(w io.Writer) {
+	if r == nil {
+		return
+	}
+	hists := r.HistogramNames()
+	rows := false
+	for _, name := range hists {
+		h := r.HistogramNamed(name)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		if !rows {
+			fmt.Fprintf(w, "%-22s %9s %10s %9s %9s %9s %9s\n",
+				"Histogram", "Count", "Mean", "P50", "P90", "P99", "Max")
+			rows = true
+		}
+		fmt.Fprintf(w, "%-22s %9d %10.1f %9d %9d %9d %9d\n",
+			name, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.90),
+			h.Quantile(0.99), h.Max())
+	}
+	counters := r.CounterNames()
+	col := 0
+	for _, name := range counters {
+		v := r.CounterValue(name)
+		if col == 0 {
+			fmt.Fprintf(w, "counters: ")
+		} else {
+			fmt.Fprintf(w, "  ")
+		}
+		fmt.Fprintf(w, "%s=%d", name, v)
+		col++
+		if col == 4 {
+			fmt.Fprintln(w)
+			col = 0
+		}
+	}
+	if col != 0 {
+		fmt.Fprintln(w)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"selgen/internal/obs"
 )
 
 // Var is a propositional variable, numbered from 0.
@@ -114,6 +116,10 @@ type Options struct {
 	MaxConflicts int64
 	// Deadline aborts the search at this time (zero = no deadline).
 	Deadline time.Time
+	// Obs, when non-nil, receives per-solve effort deltas (sat.decisions,
+	// sat.propagations, sat.conflicts, sat.restarts counters) and the
+	// sat.solve.us latency histogram.
+	Obs *obs.Tracer
 }
 
 // Stats holds cumulative solver statistics.
@@ -709,6 +715,24 @@ func (s *Solver) Solve(opts Options, assumptions ...Lit) (Status, error) {
 	if !s.ok {
 		return Unsat, nil
 	}
+	if opts.Obs != nil {
+		start := time.Now()
+		base := s.Stats
+		defer func() {
+			opts.Obs.Add("sat.decisions", s.Stats.Decisions-base.Decisions)
+			opts.Obs.Add("sat.propagations", s.Stats.Propagations-base.Propagations)
+			opts.Obs.Add("sat.conflicts", s.Stats.Conflicts-base.Conflicts)
+			opts.Obs.Add("sat.restarts", s.Stats.Restarts-base.Restarts)
+			opts.Obs.Observe("sat.solve.us", time.Since(start).Microseconds())
+		}()
+	}
+	// An already-expired deadline returns before any search effort: the
+	// caller's per-goal timeout may have elapsed while the query was
+	// being built and blasted, and starting a conflict-free propagation
+	// run here could overshoot it by an unbounded amount.
+	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+		return Unknown, ErrBudget
+	}
 	defer s.cancelUntil(0)
 
 	restartIdx := int64(0)
@@ -763,6 +787,7 @@ func (s *Solver) Solve(opts Options, assumptions ...Lit) (Status, error) {
 // Unknown), or an external budget expiry.
 func (s *Solver) search(nConflicts int64, assumptions []Lit, maxLearnts *float64, opts Options, base int64) Status {
 	conflicts := int64(0)
+	decisions := int64(0)
 	for {
 		confl := s.propagate()
 		if confl != -1 {
@@ -820,6 +845,13 @@ func (s *Solver) search(nConflicts int64, assumptions []Lit, maxLearnts *float64
 				return Sat
 			}
 			s.Stats.Decisions++
+			// Conflict-count polling alone leaves the deadline unchecked
+			// through long conflict-free runs (huge mostly-satisfiable
+			// instances), so poll on a decision interval too.
+			decisions++
+			if decisions&1023 == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+				return Unknown
+			}
 			next = MkLit(v, s.polarity[v])
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))

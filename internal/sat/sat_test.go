@@ -441,3 +441,61 @@ func TestAtMostOneEncodingsAgree(t *testing.T) {
 		t.Fatalf("found %d models, want %d", count, n)
 	}
 }
+
+// pigeonhole builds PHP(P, H): P pigeons into H holes, unsat for
+// P > H and exponentially hard for resolution-based solvers.
+func pigeonhole(P, H int) *Solver {
+	s := newSolverWithVars(P * H)
+	v := func(p, h int) Lit { return MkLit(Var(p*H+h), false) }
+	for p := 0; p < P; p++ {
+		var c []Lit
+		for h := 0; h < H; h++ {
+			c = append(c, v(p, h))
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < H; h++ {
+		for p1 := 0; p1 < P; p1++ {
+			for p2 := p1 + 1; p2 < P; p2++ {
+				s.AddClause(v(p1, h).Not(), v(p2, h).Not())
+			}
+		}
+	}
+	return s
+}
+
+// TestExpiredDeadlineReturnsBeforeSearch is the regression test for the
+// deadline-at-entry check: an already-expired deadline on a hard
+// instance must return ErrBudget without doing any search work.
+func TestExpiredDeadlineReturnsBeforeSearch(t *testing.T) {
+	s := pigeonhole(10, 9)
+	start := time.Now()
+	st, err := s.Solve(Options{Deadline: time.Now().Add(-time.Second)})
+	if st != Unknown || err != ErrBudget {
+		t.Fatalf("expired deadline: got %v %v, want Unknown ErrBudget", st, err)
+	}
+	if s.Stats.Conflicts != 0 {
+		t.Fatalf("expired deadline must not search (got %d conflicts)", s.Stats.Conflicts)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("expired deadline took %s", elapsed)
+	}
+}
+
+// TestTinyDeadlineOnHardQueryReturnsPromptly checks the polling fix:
+// a few-millisecond deadline on a hard query must abort within the
+// poll granularity, not run to completion.
+func TestTinyDeadlineOnHardQueryReturnsPromptly(t *testing.T) {
+	s := pigeonhole(10, 9)
+	start := time.Now()
+	st, err := s.Solve(Options{Deadline: time.Now().Add(20 * time.Millisecond)})
+	elapsed := time.Since(start)
+	if st != Unknown || err != ErrBudget {
+		t.Fatalf("tiny deadline: got %v %v, want Unknown ErrBudget", st, err)
+	}
+	// Generous bound: polls happen at restarts, every 256 conflicts,
+	// and every 1024 decisions, all of which fire well within seconds.
+	if elapsed > 5*time.Second {
+		t.Fatalf("20ms deadline took %s to abort", elapsed)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"selgen/internal/bitblast"
 	"selgen/internal/bv"
+	"selgen/internal/obs"
 	"selgen/internal/sat"
 )
 
@@ -45,7 +46,9 @@ var ErrBudget = errors.New("smt: budget exhausted")
 type Options struct {
 	// MaxConflicts caps the SAT search (0 = unlimited).
 	MaxConflicts int64
-	// Timeout caps wall-clock time (0 = unlimited).
+	// Timeout caps wall-clock time (0 = unlimited). A negative value
+	// means the caller's deadline already expired: Check reports
+	// ErrBudget without running the SAT search.
 	Timeout time.Duration
 }
 
@@ -101,6 +104,11 @@ type Solver struct {
 	// the totals reported by Stats and BlastStats.
 	retiredConflicts, retiredRestarts int64
 	retiredHits, retiredMisses        int64
+
+	// Obs, when non-nil, receives the smt.checks counter and the
+	// smt.check.us latency histogram, and is forwarded to the SAT
+	// search so per-solve effort deltas land in the same registry.
+	Obs *obs.Tracer
 
 	Stats Stats
 }
@@ -200,14 +208,26 @@ func (s *Solver) Assert(t *bv.Term) {
 // assuming every open frame's assertions.
 func (s *Solver) Check(opts Options) (Result, error) {
 	s.Stats.Checks++
+	s.Obs.Add("smt.checks", 1)
+	// A non-positive timeout means the caller's deadline expired while
+	// the query was being built (blasting a fresh encoding can take
+	// longer than a short per-goal budget). Report budget exhaustion
+	// immediately: treating it as "no timeout" — the old behaviour —
+	// turned an expired deadline into an unbounded search.
+	if opts.Timeout < 0 {
+		return Unknown, ErrBudget
+	}
 	var so sat.Options
 	so.MaxConflicts = opts.MaxConflicts
+	so.Obs = s.Obs
 	if opts.Timeout > 0 {
 		so.Deadline = time.Now().Add(opts.Timeout)
 	}
 	start := time.Now()
 	st, err := s.s.Solve(so, s.frames...)
-	s.Stats.SatTime += time.Since(start)
+	elapsed := time.Since(start)
+	s.Stats.SatTime += elapsed
+	s.Obs.Observe("smt.check.us", elapsed.Microseconds())
 	s.Stats.Conflicts = s.retiredConflicts + s.s.Stats.Conflicts
 	s.Stats.Restarts = s.retiredRestarts + s.s.Stats.Restarts
 	switch st {

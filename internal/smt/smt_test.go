@@ -269,3 +269,33 @@ func TestGarbageRebuildPreservesPermanents(t *testing.T) {
 	}
 	s.Pop()
 }
+
+// TestNegativeTimeoutReturnsBudget is the regression test for the
+// expired-deadline bug: callers compute Timeout = time.Until(deadline),
+// which goes negative once the deadline passes mid-construction. The
+// old code treated any non-positive timeout as "unlimited" and ran an
+// unbounded search; Check must instead report budget exhaustion
+// immediately.
+func TestNegativeTimeoutReturnsBudget(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	// The hard factoring instance from TestConflictBudget: with the old
+	// behaviour this searched without any bound.
+	x := b.Var("x", bv.BitVec(16))
+	y := b.Var("y", bv.BitVec(16))
+	s.Assert(b.Eq(b.BvMul(x, y), b.Const(0x8001, 16)))
+	s.Assert(b.Ult(b.Const(1, 16), x))
+	s.Assert(b.Ult(b.Const(1, 16), y))
+	start := time.Now()
+	res, err := s.Check(Options{Timeout: -time.Millisecond})
+	if res != Unknown || err != ErrBudget {
+		t.Fatalf("negative timeout: got %v %v, want Unknown ErrBudget", res, err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("negative timeout took %s", elapsed)
+	}
+	// The solver stays usable for a later bounded check.
+	if res, _ := s.Check(Options{MaxConflicts: 1}); res == Unsat {
+		t.Fatalf("factoring 0x8001 must not be unsat")
+	}
+}

@@ -12,6 +12,7 @@ package spec
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 
 	"selgen/internal/bv"
@@ -176,10 +177,20 @@ func (s *gen) emit(idiom string) {
 	}
 }
 
+// nameSalt derives a deterministic per-name salt for RNG seeding:
+// FNV-1a over the full name, so profiles (and graphs) whose names have
+// equal length still draw from distinct pseudo-random streams
+// (length-derived salts collided e.g. "175.vpr" with "181.mcf").
+func nameSalt(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
 // Generate builds the benchmark's graphs deterministically from the
 // profile and seed.
 func Generate(p Profile, width int, ops []*sem.Instr, seed int64) []*firm.Graph {
-	rng := rand.New(rand.NewSource(seed ^ int64(len(p.Name))<<13))
+	rng := rand.New(rand.NewSource(seed ^ nameSalt(p.Name)))
 	var out []*firm.Graph
 
 	// Weighted idiom choice.
@@ -252,7 +263,7 @@ func sortStrings(s []string) {
 // Inputs builds deterministic input vectors for a graph: parameter
 // values and an initial memory image around the base pointer.
 func Inputs(g *firm.Graph, seed int64, sets int) ([][]uint64, []map[uint64]uint64) {
-	rng := rand.New(rand.NewSource(seed ^ int64(len(g.Name))))
+	rng := rand.New(rand.NewSource(seed ^ nameSalt(g.Name)))
 	var params [][]uint64
 	var mems []map[uint64]uint64
 	for s := 0; s < sets; s++ {

@@ -15,3 +15,11 @@ go vet ./...
 # default 10m timeout under the race detector (their per-goal deadlines
 # scale up under race too; see internal/driver scaledTimeout)
 go test -race -timeout 60m "$@" ./...
+
+# -trace smoke test: a quick-setup run must emit a well-formed Chrome
+# trace (parses, has goal/multiset/synth/verify spans, spans nest).
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/selgen -setup quick -timeout 2m \
+	-o "$tmpdir/quick.json" -trace "$tmpdir/trace.json" >/dev/null
+go run scripts/validatetrace.go "$tmpdir/trace.json"

@@ -1,0 +1,114 @@
+//go:build ignore
+
+// validatetrace checks that a Chrome trace_event JSON file emitted by
+// `selgen -trace` is well-formed: it parses, contains goal / multiset /
+// synth / verify spans, spans nest properly per logical thread, and
+// thread-name metadata is present. CI runs it against a quick-setup
+// trace (see scripts/ci.sh):
+//
+//	go run scripts/validatetrace.go trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func fail(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "validatetrace: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: go run scripts/validatetrace.go trace.json")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" {
+		fail("missing displayTimeUnit")
+	}
+
+	byName := map[string]int{}
+	perTID := map[int64][]traceEvent{}
+	haveThreadName := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			if ev.Name == "thread_name" {
+				haveThreadName = true
+			}
+			continue
+		}
+		if ev.Name == "" || ev.TS < 0 {
+			fail("malformed event: %+v", ev)
+		}
+		byName[ev.Name]++
+		if ev.Ph == "X" {
+			if ev.Dur <= 0 {
+				fail("span %q has non-positive duration", ev.Name)
+			}
+			perTID[ev.TID] = append(perTID[ev.TID], ev)
+		}
+	}
+	for _, want := range []string{"goal", "multiset", "synth", "verify"} {
+		if byName[want] == 0 {
+			fail("no %q spans in trace (have %v)", want, byName)
+		}
+	}
+	if !haveThreadName {
+		fail("no thread_name metadata")
+	}
+
+	// Spans on one logical thread must nest: sweep each thread's spans
+	// in start order and check each fits inside the enclosing one.
+	for tid, evs := range perTID {
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].TS != evs[j].TS {
+				return evs[i].TS < evs[j].TS
+			}
+			return evs[i].Dur > evs[j].Dur
+		})
+		type iv struct{ start, end float64 }
+		var stack []iv
+		for _, ev := range evs {
+			end := ev.TS + ev.Dur
+			for len(stack) > 0 && ev.TS >= stack[len(stack)-1].end {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if ev.TS < top.start || end > top.end {
+					fail("tid %d: span %q [%f,%f] not nested in [%f,%f]",
+						tid, ev.Name, ev.TS, end, top.start, top.end)
+				}
+			}
+			stack = append(stack, iv{ev.TS, end})
+		}
+	}
+
+	fmt.Printf("validatetrace: OK (%d events: %d goal, %d multiset, %d synth, %d verify spans)\n",
+		len(doc.TraceEvents), byName["goal"], byName["multiset"], byName["synth"], byName["verify"])
+}
