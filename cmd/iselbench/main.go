@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"selgen/internal/cegis"
@@ -38,12 +39,15 @@ type cegisBenchPhase struct {
 }
 
 // cegisBenchGoal is one goal's timing in the -json comparison. The
-// phase breakdowns describe the best incremental round.
+// phase breakdowns describe the best incremental round. PortfolioMS is
+// the best round with verification routed through the SAT portfolio
+// (-sat-workers, 0 when benchmarked with a single worker).
 type cegisBenchGoal struct {
 	Goal          string          `json:"goal"`
 	Patterns      int             `json:"patterns"`
 	IncrementalMS float64         `json:"incremental_ms"`
 	FreshMS       float64         `json:"fresh_ms"`
+	PortfolioMS   float64         `json:"portfolio_ms,omitempty"`
 	Synth         cegisBenchPhase `json:"synth"`
 	Verify        cegisBenchPhase `json:"verify"`
 }
@@ -62,20 +66,26 @@ func phaseOf(reg *obs.Registry, kind string) cegisBenchPhase {
 
 // cegisBench is the BENCH_cegis.json document.
 type cegisBench struct {
-	Width         int              `json:"width"`
-	MaxLen        int              `json:"max_len"`
-	Rounds        int              `json:"rounds"`
-	Goals         []cegisBenchGoal `json:"goals"`
-	IncrementalMS float64          `json:"incremental_ms"`
-	FreshMS       float64          `json:"fresh_ms"`
-	Speedup       float64          `json:"speedup"`
+	Width            int              `json:"width"`
+	MaxLen           int              `json:"max_len"`
+	Rounds           int              `json:"rounds"`
+	SatWorkers       int              `json:"sat_workers"`
+	Cores            int              `json:"cores"`
+	Goals            []cegisBenchGoal `json:"goals"`
+	IncrementalMS    float64          `json:"incremental_ms"`
+	FreshMS          float64          `json:"fresh_ms"`
+	PortfolioMS      float64          `json:"portfolio_ms,omitempty"`
+	Speedup          float64          `json:"speedup"`
+	PortfolioSpeedup float64          `json:"portfolio_speedup,omitempty"`
 }
 
 // runCEGISBench times the incremental pipeline against the
 // DisableIncremental one on the quickstart goal set and writes the
 // result to path. Each mode runs `rounds` times per goal; the minimum
-// is reported (least-noise estimator).
-func runCEGISBench(width int, path string) error {
+// is reported (least-noise estimator). With satWorkers > 1 each goal is
+// additionally timed with verification routed through the SAT
+// portfolio (SatProbe lowered so hard queries actually fan out).
+func runCEGISBench(width, satWorkers int, path string) error {
 	goals := []*sem.Instr{
 		x86.Inc(),
 		x86.Andn(),
@@ -84,8 +94,11 @@ func runCEGISBench(width int, path string) error {
 		x86.CmpJcc(x86.CCB),
 	}
 	const rounds = 5
-	out := cegisBench{Width: width, MaxLen: 2, Rounds: rounds}
-	run := func(g *sem.Instr, disable bool) (time.Duration, int, cegisBenchPhase, cegisBenchPhase, error) {
+	out := cegisBench{
+		Width: width, MaxLen: 2, Rounds: rounds,
+		SatWorkers: satWorkers, Cores: runtime.NumCPU(),
+	}
+	run := func(g *sem.Instr, disable bool, workers int) (time.Duration, int, cegisBenchPhase, cegisBenchPhase, error) {
 		best, patterns := time.Duration(0), 0
 		var synth, verify cegisBenchPhase
 		for r := 0; r < rounds; r++ {
@@ -94,6 +107,8 @@ func runCEGISBench(width int, path string) error {
 				Width: width, MaxLen: 2, Seed: 1,
 				QueryConflicts:     200_000,
 				DisableIncremental: disable,
+				SatWorkers:         workers,
+				SatProbe:           512,
 				Obs:                tr,
 			})
 			start := time.Now()
@@ -111,26 +126,38 @@ func runCEGISBench(width int, path string) error {
 		return best, patterns, synth, verify, nil
 	}
 	for _, g := range goals {
-		inc, patterns, synth, verify, err := run(g, false)
+		inc, patterns, synth, verify, err := run(g, false, 1)
 		if err != nil {
 			return err
 		}
-		fresh, _, _, _, err := run(g, true)
+		fresh, _, _, _, err := run(g, true, 1)
 		if err != nil {
 			return err
 		}
-		out.Goals = append(out.Goals, cegisBenchGoal{
+		bg := cegisBenchGoal{
 			Goal: g.Name, Patterns: patterns,
 			IncrementalMS: float64(inc) / float64(time.Millisecond),
 			FreshMS:       float64(fresh) / float64(time.Millisecond),
 			Synth:         synth,
 			Verify:        verify,
-		})
-		out.IncrementalMS += float64(inc) / float64(time.Millisecond)
-		out.FreshMS += float64(fresh) / float64(time.Millisecond)
+		}
+		if satWorkers > 1 {
+			pf, _, _, _, err := run(g, false, satWorkers)
+			if err != nil {
+				return err
+			}
+			bg.PortfolioMS = float64(pf) / float64(time.Millisecond)
+			out.PortfolioMS += bg.PortfolioMS
+		}
+		out.Goals = append(out.Goals, bg)
+		out.IncrementalMS += bg.IncrementalMS
+		out.FreshMS += bg.FreshMS
 	}
 	if out.IncrementalMS > 0 {
 		out.Speedup = out.FreshMS / out.IncrementalMS
+	}
+	if out.PortfolioMS > 0 {
+		out.PortfolioSpeedup = out.IncrementalMS / out.PortfolioMS
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -145,12 +172,18 @@ func runCEGISBench(width int, path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	if out.PortfolioMS > 0 {
+		fmt.Printf("incremental %.0fms vs fresh %.0fms (%.2fx); portfolio(%d) %.0fms (%.2fx vs incremental) -> %s\n",
+			out.IncrementalMS, out.FreshMS, out.Speedup,
+			out.SatWorkers, out.PortfolioMS, out.PortfolioSpeedup, path)
+		return nil
+	}
 	fmt.Printf("incremental %.0fms vs fresh %.0fms (%.2fx) -> %s\n",
 		out.IncrementalMS, out.FreshMS, out.Speedup, path)
 	return nil
 }
 
-func loadOrSynthesize(path, what string, groups []driver.Group, width int) (*pattern.Library, error) {
+func loadOrSynthesize(path, what string, groups []driver.Group, width, satWorkers int) (*pattern.Library, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -165,6 +198,7 @@ func loadOrSynthesize(path, what string, groups []driver.Group, width int) (*pat
 		PerGoalTimeout:     2 * time.Minute,
 		MaxPatternsPerGoal: 48,
 		Seed:               1,
+		SatWorkers:         satWorkers,
 	})
 	if err == nil {
 		rep.WriteTable(os.Stderr)
@@ -178,24 +212,25 @@ func main() {
 		basicPath = flag.String("basic", "", "basic rule library JSON (synthesized when empty)")
 		fullPath  = flag.String("full", "", "full rule library JSON (synthesized when empty)")
 		seed      = flag.Int64("seed", 99, "workload seed")
-		jsonBench = flag.Bool("json", false, "benchmark incremental vs fresh CEGIS, write BENCH_cegis.json, and exit")
+		workers   = flag.Int("sat-workers", 1, "diversified SAT portfolio workers for hard verification queries (1 = sequential)")
+		jsonBench = flag.Bool("json", false, "benchmark incremental vs fresh CEGIS (and the SAT portfolio when -sat-workers > 1), write BENCH_cegis.json, and exit")
 	)
 	flag.Parse()
 
 	if *jsonBench {
-		if err := runCEGISBench(*width, "BENCH_cegis.json"); err != nil {
+		if err := runCEGISBench(*width, *workers, "BENCH_cegis.json"); err != nil {
 			fmt.Fprintf(os.Stderr, "iselbench: cegis bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	basicLib, err := loadOrSynthesize(*basicPath, "basic", driver.BasicSetup(), *width)
+	basicLib, err := loadOrSynthesize(*basicPath, "basic", driver.BasicSetup(), *width, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iselbench: basic library: %v\n", err)
 		os.Exit(1)
 	}
-	fullLib, err := loadOrSynthesize(*fullPath, "full", driver.FullSetup(), *width)
+	fullLib, err := loadOrSynthesize(*fullPath, "full", driver.FullSetup(), *width, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iselbench: full library: %v\n", err)
 		os.Exit(1)

@@ -28,6 +28,7 @@ func main() {
 		timeout = flag.Duration("timeout", 5*time.Minute, "per-goal synthesis timeout")
 		maxPat  = flag.Int("max-patterns", 64, "max patterns per goal (0 = unlimited)")
 		seed    = flag.Int64("seed", 1, "test-case seed")
+		workers = flag.Int("sat-workers", 1, "diversified SAT portfolio workers for hard verification queries (1 = sequential)")
 		verbose = flag.Bool("v", false, "print per-goal progress")
 		trace   = flag.String("trace", "", "write a Chrome trace_event JSON file (view in chrome://tracing or Perfetto)")
 	)
@@ -59,6 +60,7 @@ func main() {
 		PerGoalTimeout:     *timeout,
 		MaxPatternsPerGoal: *maxPat,
 		Seed:               *seed,
+		SatWorkers:         *workers,
 		Obs:                tracer,
 	}
 	if *verbose {

@@ -129,7 +129,7 @@ func (v *verifier) assertCandidate(e *Engine, p *pattern.Pattern) {
 // check runs the verification query and extracts a counterexample on
 // Sat.
 func (v *verifier) check(e *Engine, goal *sem.Instr) (cex []uint64, ok bool, err error) {
-	res, cerr := v.solver.Check(e.queryOpts())
+	res, cerr := v.solver.Check(e.verifyOpts())
 	switch res {
 	case smt.Unsat:
 		return nil, true, nil

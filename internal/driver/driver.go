@@ -254,6 +254,12 @@ type Options struct {
 	// results from parallel synthesizer runs; results are merged in
 	// goal order, so the library is deterministic regardless.
 	Parallel int
+	// SatWorkers, when > 1, runs hard verification queries on a
+	// diversified SAT portfolio of that many workers with first-wins
+	// cancellation (cegis.Config.SatWorkers). Verdicts — and therefore
+	// the synthesized library — are unaffected; only wall-clock time
+	// and the winning models' values vary.
+	SatWorkers int
 	// Progress, when non-nil, receives per-goal progress lines.
 	Progress io.Writer
 	// Obs, when non-nil, collects spans and metrics for the run. Run
@@ -327,6 +333,7 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 					MaxPatternsPerMultiset: grp.MaxPatternsPerMultiset,
 					FreezeArgWitnesses:     grp.FreezeArgWitnesses,
 					Seed:                   opts.Seed,
+					SatWorkers:             opts.SatWorkers,
 					Obs:                    tr,
 				}
 				if opts.PerGoalTimeout > 0 {

@@ -1,0 +1,49 @@
+package driver
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"selgen/internal/pattern"
+)
+
+// sortedRuleSet flattens a library into sorted "goal\tpattern" strings:
+// the portfolio can reorder pattern discovery within a goal (which
+// counterexample a racing worker returns is schedule-dependent), but
+// the set of rules per goal is deterministic.
+func sortedRuleSet(lib *pattern.Library) []string {
+	out := make([]string, len(lib.Rules))
+	for i, r := range lib.Rules {
+		out[i] = r.Goal + "\t" + r.Pattern.Canon()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSatWorkersMatchesSequential checks the driver-level determinism
+// contract of the -sat-workers flag: the synthesized rule library is
+// the same set whether verification runs sequentially or on a racing
+// portfolio.
+func TestSatWorkersMatchesSequential(t *testing.T) {
+	opts := Options{Width: 8, Seed: 1, MaxPatternsPerGoal: 8,
+		PerGoalTimeout: scaledTimeout(90 * time.Second)}
+	seqLib, _, err := Run(QuickSetup(), opts)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	opts.SatWorkers = 4
+	pfLib, _, err := Run(QuickSetup(), opts)
+	if err != nil {
+		t.Fatalf("portfolio: %v", err)
+	}
+	seq, pf := sortedRuleSet(seqLib), sortedRuleSet(pfLib)
+	if len(seq) != len(pf) {
+		t.Fatalf("rule counts differ: %d vs %d", len(seq), len(pf))
+	}
+	for i := range seq {
+		if seq[i] != pf[i] {
+			t.Fatalf("rule set differs at %d: %q vs %q", i, seq[i], pf[i])
+		}
+	}
+}

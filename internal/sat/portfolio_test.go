@@ -1,0 +1,468 @@
+package sat
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cnf is an instance both as a clause list (for model verification and
+// rebuilding fresh solvers) and a variable count.
+type cnf struct {
+	name   string
+	nvars  int
+	clause [][]Lit
+}
+
+func (c *cnf) solver() *Solver {
+	s := New()
+	for i := 0; i < c.nvars; i++ {
+		s.NewVar()
+	}
+	for _, cl := range c.clause {
+		if !s.AddClause(cl...) {
+			break
+		}
+	}
+	return s
+}
+
+// pigeonholeCNF is pigeonhole() as a clause list: P pigeons, H holes.
+func pigeonholeCNF(P, H int) *cnf {
+	c := &cnf{name: "php", nvars: P * H}
+	v := func(p, h int) Lit { return MkLit(Var(p*H+h), false) }
+	for p := 0; p < P; p++ {
+		var cl []Lit
+		for h := 0; h < H; h++ {
+			cl = append(cl, v(p, h))
+		}
+		c.clause = append(c.clause, cl)
+	}
+	for h := 0; h < H; h++ {
+		for p1 := 0; p1 < P; p1++ {
+			for p2 := p1 + 1; p2 < P; p2++ {
+				c.clause = append(c.clause, []Lit{v(p1, h).Not(), v(p2, h).Not()})
+			}
+		}
+	}
+	return c
+}
+
+// planted3SATCNF is the planted-solution random 3-SAT generator from
+// the solver tests as a clause list (always satisfiable).
+func planted3SATCNF(seed int64, n, m int) *cnf {
+	rng := rand.New(rand.NewSource(seed))
+	planted := make([]bool, n)
+	for i := range planted {
+		planted[i] = rng.Intn(2) == 0
+	}
+	c := &cnf{name: "planted", nvars: n}
+	for len(c.clause) < m {
+		cl := make([]Lit, 3)
+		for j := range cl {
+			cl[j] = MkLit(Var(rng.Intn(n)), rng.Intn(2) == 0)
+		}
+		sat := false
+		for _, l := range cl {
+			if planted[l.Var()] != l.Neg() {
+				sat = true
+			}
+		}
+		if !sat {
+			cl[0] = MkLit(cl[0].Var(), !planted[cl[0].Var()])
+		}
+		c.clause = append(c.clause, cl)
+	}
+	return c
+}
+
+// chainCNF is the equivalence chain x1 = ... = xn with x1 forced true;
+// contradict=true also forces xn false (unsat).
+func chainCNF(n int, contradict bool) *cnf {
+	c := &cnf{name: "chain", nvars: n}
+	c.clause = append(c.clause, []Lit{lit(1)})
+	for i := 1; i < n; i++ {
+		c.clause = append(c.clause,
+			[]Lit{lit(-i), lit(i + 1)},
+			[]Lit{lit(i), lit(-(i + 1))})
+	}
+	if contradict {
+		c.clause = append(c.clause, []Lit{lit(-n)})
+	}
+	return c
+}
+
+// exactlyOneCNF is pairwise exactly-one over n variables.
+func exactlyOneCNF(n int) *cnf {
+	c := &cnf{name: "exactly-one", nvars: n}
+	var all []Lit
+	for i := 1; i <= n; i++ {
+		all = append(all, lit(i))
+	}
+	c.clause = append(c.clause, all)
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			c.clause = append(c.clause, []Lit{lit(-i), lit(-j)})
+		}
+	}
+	return c
+}
+
+// differentialSuite is the instance set every portfolio configuration
+// is checked against.
+func differentialSuite() []*cnf {
+	return []*cnf{
+		pigeonholeCNF(5, 5),  // sat: one pigeon per hole
+		pigeonholeCNF(6, 5),  // unsat, resolution-hard
+		planted3SATCNF(1, 40, 150),
+		planted3SATCNF(7, 40, 170),
+		chainCNF(200, false),
+		chainCNF(200, true),
+		exactlyOneCNF(8),
+	}
+}
+
+// TestPortfolioAgreesWithSequential is the differential test at the
+// heart of the determinism contract: for every suite instance, every
+// worker count, every seed, with and without clause sharing, and with
+// the probe both enabled and skipped, the portfolio's SAT/UNSAT verdict
+// must equal the sequential solver's, and every Sat model must satisfy
+// the formula.
+func TestPortfolioAgreesWithSequential(t *testing.T) {
+	for _, inst := range differentialSuite() {
+		seq := inst.solver()
+		want, err := seq.Solve(Options{})
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", inst.name, err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			for _, seed := range []int64{0, 3, 11} {
+				for _, disableSharing := range []bool{false, true} {
+					for _, probe := range []int64{-1, 64} {
+						pf := &Portfolio{
+							Workers:        workers,
+							ProbeConflicts: probe,
+							DisableSharing: disableSharing,
+							Seed:           seed,
+						}
+						s := inst.solver()
+						st, err := pf.Solve(s, Options{})
+						if err != nil {
+							t.Fatalf("%s workers=%d seed=%d sharing=%v probe=%d: %v",
+								inst.name, workers, seed, !disableSharing, probe, err)
+						}
+						if st != want {
+							t.Fatalf("%s workers=%d seed=%d sharing=%v probe=%d: verdict %v, sequential says %v",
+								inst.name, workers, seed, !disableSharing, probe, st, want)
+						}
+						if st == Sat {
+							verifyModel(t, s, inst.clause)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioAssumptionsAgree runs the differential check under
+// assumption literals: assumptions are passed to every worker, and a
+// model must satisfy them as well as the clauses.
+func TestPortfolioAssumptionsAgree(t *testing.T) {
+	inst := chainCNF(100, false)
+	for _, assume := range [][]Lit{
+		{lit(50)},          // consistent with the chain
+		{lit(-50)},         // contradicts x1=...=xn with x1 true
+		{lit(70), lit(99)}, // consistent pair
+	} {
+		seq := inst.solver()
+		want, err := seq.Solve(Options{}, assume...)
+		if err != nil {
+			t.Fatalf("sequential: %v", err)
+		}
+		pf := &Portfolio{Workers: 3, ProbeConflicts: -1, Seed: 5}
+		s := inst.solver()
+		st, err := pf.Solve(s, Options{}, assume...)
+		if err != nil {
+			t.Fatalf("portfolio: %v", err)
+		}
+		if st != want {
+			t.Fatalf("assumptions %v: portfolio %v, sequential %v", assume, st, want)
+		}
+		if st == Sat {
+			verifyModel(t, s, inst.clause)
+			for _, l := range assume {
+				if s.Model(l.Var()) == l.Neg() {
+					t.Fatalf("model violates assumption %v", l)
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioDiversifiedOptionsSolveCorrectly checks each
+// diversification knob in isolation on the sequential entry point:
+// whatever the polarity mode, restart schedule, or random seed, the
+// verdict must not change and Sat models must verify.
+func TestPortfolioDiversifiedOptionsSolveCorrectly(t *testing.T) {
+	for _, inst := range differentialSuite() {
+		seq := inst.solver()
+		want, err := seq.Solve(Options{})
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", inst.name, err)
+		}
+		for _, o := range []Options{
+			{Seed: 1},
+			{Seed: 99, Polarity: PolarityRandom},
+			{Polarity: PolarityFalse},
+			{Polarity: PolarityTrue},
+			{RestartSchedule: RestartGeometric},
+			{Seed: 3, Polarity: PolarityTrue, RestartSchedule: RestartGeometric},
+		} {
+			s := inst.solver()
+			st, err := s.Solve(o)
+			if err != nil {
+				t.Fatalf("%s opts=%+v: %v", inst.name, o, err)
+			}
+			if st != want {
+				t.Fatalf("%s opts=%+v: verdict %v, want %v", inst.name, o, st, want)
+			}
+			if st == Sat {
+				verifyModel(t, s, inst.clause)
+			}
+		}
+	}
+}
+
+// TestExchangePublishCollect covers the clause exchange: a reader sees
+// clauses from other sources, skips its own, and a cursor survives
+// incremental collection.
+func TestExchangePublishCollect(t *testing.T) {
+	e := NewExchange(4) // rounds up to the 64 minimum
+	if len(e.slots) != 64 {
+		t.Fatalf("capacity %d, want 64", len(e.slots))
+	}
+	e.publish(0, []Lit{lit(1), lit(2)})
+	e.publish(1, []Lit{lit(-3)})
+	e.publish(0, []Lit{lit(4), lit(-5)})
+
+	var got [][]Lit
+	cursor := e.collect(1, 0, func(lits []Lit) bool {
+		got = append(got, append([]Lit(nil), lits...))
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("reader 1 saw %d clauses, want 2 (own publication must be skipped)", len(got))
+	}
+	if got[0][0] != lit(1) || got[1][0] != lit(4) {
+		t.Fatalf("unexpected clauses: %v", got)
+	}
+
+	// Nothing new: the cursor prevents re-reading.
+	n := 0
+	cursor = e.collect(1, cursor, func([]Lit) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("re-read %d clauses after cursor catch-up", n)
+	}
+
+	// New publication becomes visible from the same cursor.
+	e.publish(2, []Lit{lit(7)})
+	n = 0
+	e.collect(1, cursor, func(lits []Lit) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("saw %d new clauses, want 1", n)
+	}
+}
+
+// TestExchangeWrapAround floods the ring past its capacity: the reader
+// must see only the surviving window, never stall, and never see a
+// clause twice.
+func TestExchangeWrapAround(t *testing.T) {
+	e := NewExchange(64)
+	for i := 0; i < 1000; i++ {
+		e.publish(0, []Lit{lit(i%30 + 1)})
+	}
+	n := 0
+	cursor := e.collect(1, 0, func([]Lit) bool { n++; return true })
+	if n > 64 {
+		t.Fatalf("reader saw %d clauses from a 64-slot ring", n)
+	}
+	if cursor != e.head.Load() {
+		t.Fatalf("cursor %d, head %d", cursor, e.head.Load())
+	}
+}
+
+// TestExchangePublishCopies: publish must deep-copy, because the solver
+// passes its reused learnt-clause scratch buffer.
+func TestExchangePublishCopies(t *testing.T) {
+	e := NewExchange(64)
+	buf := []Lit{lit(1), lit(2)}
+	e.publish(0, buf)
+	buf[0] = lit(9) // scribble over the caller's buffer
+	e.collect(1, 0, func(lits []Lit) bool {
+		if lits[0] != lit(1) {
+			t.Fatalf("exchange aliases the caller's buffer: %v", lits)
+		}
+		return true
+	})
+}
+
+// TestStopFlagCancelsSolve: a pre-set stop flag returns ErrCanceled
+// before any search; a flag set mid-search aborts a hard instance
+// promptly.
+func TestStopFlagCancelsSolve(t *testing.T) {
+	var stop atomic.Bool
+	stop.Store(true)
+	s := pigeonhole(10, 9)
+	st, err := s.Solve(Options{Stop: &stop})
+	if st != Unknown || err != ErrCanceled {
+		t.Fatalf("pre-set stop: got %v %v, want Unknown ErrCanceled", st, err)
+	}
+	if s.Stats.Conflicts != 0 {
+		t.Fatalf("pre-set stop must not search (got %d conflicts)", s.Stats.Conflicts)
+	}
+
+	stop.Store(false)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		stop.Store(true)
+	}()
+	start := time.Now()
+	st, err = s.Solve(Options{Stop: &stop})
+	if st != Unknown || err != ErrCanceled {
+		t.Fatalf("mid-search stop: got %v %v, want Unknown ErrCanceled", st, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stop took %s to honor", elapsed)
+	}
+}
+
+// TestPortfolioBudgetExhaustion: a conflict budget far below what
+// PHP(8,7) needs must come back Unknown/ErrBudget from the portfolio,
+// like the sequential path.
+func TestPortfolioBudgetExhaustion(t *testing.T) {
+	pf := &Portfolio{Workers: 2, ProbeConflicts: 16, Seed: 1}
+	s := pigeonhole(8, 7)
+	st, err := pf.Solve(s, Options{MaxConflicts: 64})
+	if st != Unknown || err != ErrBudget {
+		t.Fatalf("got %v %v, want Unknown ErrBudget", st, err)
+	}
+
+	// Budget at or below the probe: spent entirely before fan-out.
+	s2 := pigeonhole(8, 7)
+	pf2 := &Portfolio{Workers: 2, ProbeConflicts: 64, Seed: 1}
+	st, err = pf2.Solve(s2, Options{MaxConflicts: 32})
+	if st != Unknown || err != ErrBudget {
+		t.Fatalf("probe-covered budget: got %v %v, want Unknown ErrBudget", st, err)
+	}
+}
+
+// TestPortfolioProbeAnswersEasyQueries: with the default probe, an easy
+// query never fans out (the fanouts counter pattern in obs is covered
+// by the smt tests; here we check the verdict comes from the probe by
+// observing the source solver's own stats were used — its model must be
+// populated without any snapshot worker existing).
+func TestPortfolioProbeAnswersEasyQueries(t *testing.T) {
+	inst := chainCNF(50, false)
+	pf := &Portfolio{Workers: 4, Seed: 2} // default probe: 4096 conflicts
+	s := inst.solver()
+	st, err := pf.Solve(s, Options{})
+	if err != nil || st != Sat {
+		t.Fatalf("got %v %v", st, err)
+	}
+	verifyModel(t, s, inst.clause)
+}
+
+// TestPortfolioEmptyClauseShortCircuits is the regression test for the
+// top-level-unsat snapshot hole FuzzSolver found: a solver whose
+// AddClause already failed must come back Unsat from the portfolio, not
+// Sat-on-an-empty-snapshot.
+func TestPortfolioEmptyClauseShortCircuits(t *testing.T) {
+	s := newSolverWithVars(3)
+	if s.AddClause() {
+		t.Fatalf("empty clause must report false")
+	}
+	pf := &Portfolio{Workers: 2, ProbeConflicts: -1, Seed: 1}
+	st, err := pf.Solve(s, Options{})
+	if err != nil || st != Unsat {
+		t.Fatalf("got %v %v, want Unsat", st, err)
+	}
+}
+
+// TestRecycleClearsWorkerState: a solver that has solved with every
+// portfolio option installed, then been Recycled, must behave exactly
+// like a fresh solver on the next formula — same verdicts, zeroed
+// exchange counters, no lingering stop flag or RNG.
+func TestRecycleClearsWorkerState(t *testing.T) {
+	var stop atomic.Bool
+	exch := NewExchange(64)
+	used := pigeonholeCNF(5, 4)
+
+	s := used.solver()
+	st, err := s.Solve(Options{
+		Seed:            42,
+		Polarity:        PolarityRandom,
+		RestartSchedule: RestartGeometric,
+		Stop:            &stop,
+		Exchange:        exch,
+		ExchangeID:      1,
+	})
+	if err != nil || st != Unsat {
+		t.Fatalf("warm-up solve: %v %v", st, err)
+	}
+	s.Recycle()
+
+	if s.rng != nil || s.polMode != PhaseSaving || s.stop != nil ||
+		s.exch != nil || s.exchID != 0 || s.exchCursor != 0 {
+		t.Fatalf("Recycle left worker state behind: rng=%v polMode=%v stop=%v exch=%v id=%d cursor=%d",
+			s.rng, s.polMode, s.stop, s.exch, s.exchID, s.exchCursor)
+	}
+	if s.Stats != (Stats{}) {
+		t.Fatalf("Recycle left stats behind: %+v", s.Stats)
+	}
+
+	// The recycled solver must reproduce a fresh solver's verdicts on a
+	// new formula, including under assumptions.
+	rebuild := func(dst *Solver, c *cnf) {
+		for i := 0; i < c.nvars; i++ {
+			dst.NewVar()
+		}
+		for _, cl := range c.clause {
+			if !dst.AddClause(cl...) {
+				break
+			}
+		}
+	}
+	next := planted3SATCNF(3, 30, 120)
+	fresh := next.solver()
+	rebuild(s, next)
+	for _, assume := range [][]Lit{nil, {lit(1)}, {lit(-1), lit(2)}} {
+		wantSt, wantErr := fresh.Solve(Options{}, assume...)
+		gotSt, gotErr := s.Solve(Options{}, assume...)
+		if gotSt != wantSt || gotErr != wantErr {
+			t.Fatalf("assume %v: recycled (%v, %v) vs fresh (%v, %v)",
+				assume, gotSt, gotErr, wantSt, wantErr)
+		}
+		if gotSt == Sat {
+			verifyModel(t, s, next.clause)
+		}
+	}
+}
+
+// TestPortfolioStatsFold: after a fan-out win the source solver's Stats
+// must reflect the winner's effort (callers compute per-query deltas
+// from them).
+func TestPortfolioStatsFold(t *testing.T) {
+	inst := pigeonholeCNF(6, 5)
+	pf := &Portfolio{Workers: 2, ProbeConflicts: 8, Seed: 1}
+	s := inst.solver()
+	before := s.Stats.Conflicts
+	st, err := pf.Solve(s, Options{})
+	if err != nil || st != Unsat {
+		t.Fatalf("got %v %v", st, err)
+	}
+	if s.Stats.Conflicts <= before {
+		t.Fatalf("winner's conflicts were not folded into the source solver")
+	}
+}

@@ -1,0 +1,164 @@
+package smt
+
+import (
+	"testing"
+
+	"selgen/internal/bv"
+	"selgen/internal/obs"
+)
+
+// portfolioQuerySuite builds the formula set the smt-level differential
+// tests run: a mix of easy and multiplication-carrying queries, both
+// satisfiable and unsatisfiable, as single conjunction terms so a Sat
+// model can be re-checked with bv.Eval.
+func portfolioQuerySuite(b *bv.Builder) map[string]*bv.Term {
+	x := b.Var("x", bv.BitVec(8))
+	y := b.Var("y", bv.BitVec(8))
+	return map[string]*bv.Term{
+		"add-ult-sat": b.And(
+			b.Eq(b.BvAdd(x, y), b.Const(10, 8)),
+			b.Ult(x, y)),
+		"range-unsat": b.And(
+			b.Ult(x, b.Const(5, 8)),
+			b.Ult(b.Const(10, 8), x)),
+		"mul-inverse-sat": b.Eq(
+			b.BvMul(x, b.Const(3, 8)), b.Const(1, 8)),
+		"mul-even-unsat": b.Eq(
+			b.BvMul(x, b.Const(2, 8)), b.Const(1, 8)),
+		"xor-as-add-sat": b.And(
+			b.Eq(b.BvXor(x, y), b.BvAdd(x, y)),
+			b.Ult(b.Const(0, 8), x),
+			b.Ult(b.Const(0, 8), y)),
+		"signed-corner-sat": b.And(
+			b.Slt(x, b.Const(0, 8)),
+			b.Ult(b.Const(100, 8), x)),
+		"mul-square-unsat": b.Eq(
+			b.BvMul(x, x), b.Const(2, 8)),
+	}
+}
+
+// TestCheckPortfolioAgreesWithSequential: for every suite query, every
+// worker count, and several seeds, the portfolio-routed Check must
+// return the sequential verdict, and decoded Sat models must evaluate
+// the asserted formula to true. PortfolioProbe -1 forces the fan-out
+// path even on easy queries.
+func TestCheckPortfolioAgreesWithSequential(t *testing.T) {
+	b := bv.NewBuilder()
+	for name, formula := range portfolioQuerySuite(b) {
+		seq := NewSolver(b)
+		seq.Assert(formula)
+		want, err := seq.Check(Options{})
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", name, err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			for _, seed := range []int64{0, 9} {
+				s := NewSolver(b)
+				s.Assert(formula)
+				res, err := s.Check(Options{
+					PortfolioWorkers: workers,
+					PortfolioSeed:    seed,
+					PortfolioProbe:   -1,
+				})
+				if err != nil {
+					t.Fatalf("%s workers=%d seed=%d: %v", name, workers, seed, err)
+				}
+				if res != want {
+					t.Fatalf("%s workers=%d seed=%d: verdict %v, sequential says %v",
+						name, workers, seed, res, want)
+				}
+				if res == Sat {
+					m := bv.Model{
+						"x": s.ModelValue("x", bv.BitVec(8)),
+						"y": s.ModelValue("y", bv.BitVec(8)),
+					}
+					if bv.Eval(formula, m) != 1 {
+						t.Fatalf("%s workers=%d seed=%d: model %v does not satisfy the formula",
+							name, workers, seed, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioWithPushPop drives the portfolio through the
+// incremental facade's frame machinery: assumption literals must reach
+// every worker, and retraction must behave exactly as in the
+// sequential twin.
+func TestPortfolioWithPushPop(t *testing.T) {
+	run := func(opts Options) []Result {
+		b := bv.NewBuilder()
+		s := NewSolver(b)
+		x := b.Var("x", bv.BitVec(8))
+		var out []Result
+		check := func() {
+			res, err := s.Check(opts)
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			out = append(out, res)
+		}
+		s.Assert(b.Ult(x, b.Const(100, 8)))
+		check() // sat
+		s.Push()
+		s.Assert(b.Eq(x, b.Const(200, 8)))
+		check() // unsat under the frame
+		s.Pop()
+		check() // sat again
+		s.Push()
+		s.Assert(b.Eq(b.BvMul(x, b.Const(3, 8)), b.Const(33, 8)))
+		check() // sat: x = 11 (3 is invertible mod 256)
+		s.Pop()
+		return out
+	}
+	want := run(Options{})
+	got := run(Options{PortfolioWorkers: 3, PortfolioProbe: -1, PortfolioSeed: 4})
+	if len(want) != len(got) {
+		t.Fatalf("check counts differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("check %d: portfolio %v, sequential %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPortfolioObsCounters checks the observability wiring: a forced
+// fan-out records sat.portfolio.fanouts, a win, and per-worker effort,
+// while a default-probe easy query never fans out.
+func TestPortfolioObsCounters(t *testing.T) {
+	b := bv.NewBuilder()
+	x := b.Var("x", bv.BitVec(8))
+	formula := b.Eq(b.BvMul(x, b.Const(3, 8)), b.Const(1, 8))
+
+	tr := obs.New()
+	s := NewSolver(b)
+	s.Obs = tr
+	s.Assert(formula)
+	if res, err := s.Check(Options{PortfolioWorkers: 2, PortfolioProbe: -1}); err != nil || res != Sat {
+		t.Fatalf("check: %v %v", res, err)
+	}
+	reg := tr.Metrics()
+	if got := reg.CounterValue("sat.portfolio.fanouts"); got != 1 {
+		t.Fatalf("fanouts = %d, want 1", got)
+	}
+	if got := reg.CounterValue("sat.portfolio.wins"); got != 1 {
+		t.Fatalf("wins = %d, want 1", got)
+	}
+	if reg.CounterValue("sat.portfolio.invalid_models") != 0 {
+		t.Fatalf("unexpected invalid model")
+	}
+
+	// Default probe: the same query settles sequentially, no fan-out.
+	tr2 := obs.New()
+	s2 := NewSolver(b)
+	s2.Obs = tr2
+	s2.Assert(formula)
+	if res, err := s2.Check(Options{PortfolioWorkers: 2}); err != nil || res != Sat {
+		t.Fatalf("check: %v %v", res, err)
+	}
+	if got := tr2.Metrics().CounterValue("sat.portfolio.fanouts"); got != 0 {
+		t.Fatalf("easy query fanned out %d times, want 0 (probe should answer it)", got)
+	}
+}

@@ -50,6 +50,18 @@ type Options struct {
 	// means the caller's deadline already expired: Check reports
 	// ErrBudget without running the SAT search.
 	Timeout time.Duration
+	// PortfolioWorkers, when > 1, routes the SAT search through a
+	// diversified portfolio (sat.Portfolio): a sequential probe runs
+	// first on the incremental solver, and only queries that exhaust the
+	// probe's conflict budget fan out to racing workers. The SAT/UNSAT
+	// verdict is unaffected; Sat models are re-validated against the
+	// blasted CNF before being decoded.
+	PortfolioWorkers int
+	// PortfolioSeed diversifies the workers' random streams.
+	PortfolioSeed int64
+	// PortfolioProbe overrides the sequential probe's conflict budget
+	// (0 = sat.DefaultProbeConflicts, negative = fan out immediately).
+	PortfolioProbe int64
 }
 
 // Stats accumulates query counts and solver effort.
@@ -224,7 +236,19 @@ func (s *Solver) Check(opts Options) (Result, error) {
 		so.Deadline = time.Now().Add(opts.Timeout)
 	}
 	start := time.Now()
-	st, err := s.s.Solve(so, s.frames...)
+	var st sat.Status
+	var err error
+	if opts.PortfolioWorkers > 1 {
+		pf := &sat.Portfolio{
+			Workers:        opts.PortfolioWorkers,
+			ProbeConflicts: opts.PortfolioProbe,
+			Seed:           opts.PortfolioSeed,
+			Obs:            s.Obs,
+		}
+		st, err = pf.Solve(s.s, so, s.frames...)
+	} else {
+		st, err = s.s.Solve(so, s.frames...)
+	}
 	elapsed := time.Since(start)
 	s.Stats.SatTime += elapsed
 	s.Obs.Observe("smt.check.us", elapsed.Microseconds())

@@ -11,6 +11,11 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+# Fail-fast race pass over the solver stack: the portfolio tests spawn
+# racing workers with a shared stop flag and clause exchange, so these
+# packages are where a data race would surface first (and they are
+# cheap compared to the full suite below).
+go test -race ./internal/sat ./internal/smt ./internal/driver
 # the driver tests synthesize libraries and run well past go test's
 # default 10m timeout under the race detector (their per-goal deadlines
 # scale up under race too; see internal/driver scaledTimeout)
@@ -18,8 +23,11 @@ go test -race -timeout 60m "$@" ./...
 
 # -trace smoke test: a quick-setup run must emit a well-formed Chrome
 # trace (parses, has goal/multiset/synth/verify spans, spans nest).
+# -sat-workers 2 routes verification through the SAT portfolio so any
+# sat.portfolio.worker spans land on their own trace TIDs and must
+# still nest cleanly.
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-go run ./cmd/selgen -setup quick -timeout 2m \
+go run ./cmd/selgen -setup quick -timeout 2m -sat-workers 2 \
 	-o "$tmpdir/quick.json" -trace "$tmpdir/trace.json" >/dev/null
 go run scripts/validatetrace.go "$tmpdir/trace.json"
