@@ -23,6 +23,7 @@ import (
 
 	"selgen/internal/cegis"
 	"selgen/internal/driver"
+	"selgen/internal/failpoint"
 	"selgen/internal/ir"
 	"selgen/internal/obs"
 	"selgen/internal/pattern"
@@ -183,6 +184,10 @@ func runCEGISBench(width, satWorkers int, path string) error {
 	return nil
 }
 
+// synthFaults arms fault-injection points for the synthesis runs
+// loadOrSynthesize performs (nil unless -faults is given).
+var synthFaults *failpoint.Registry
+
 func loadOrSynthesize(path, what string, groups []driver.Group, width, satWorkers int) (*pattern.Library, error) {
 	if path != "" {
 		f, err := os.Open(path)
@@ -199,6 +204,7 @@ func loadOrSynthesize(path, what string, groups []driver.Group, width, satWorker
 		MaxPatternsPerGoal: 48,
 		Seed:               1,
 		SatWorkers:         satWorkers,
+		Faults:             synthFaults,
 	})
 	if err == nil {
 		rep.WriteTable(os.Stderr)
@@ -214,8 +220,17 @@ func main() {
 		seed      = flag.Int64("seed", 99, "workload seed")
 		workers   = flag.Int("sat-workers", 1, "diversified SAT portfolio workers for hard verification queries (1 = sequential)")
 		jsonBench = flag.Bool("json", false, "benchmark incremental vs fresh CEGIS (and the SAT portfolio when -sat-workers > 1), write BENCH_cegis.json, and exit")
+		faults    = flag.String("faults", "", "arm fault-injection points during library synthesis, e.g. 'sat.worker.crash=once' (testing only)")
+		fseed     = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection modes")
 	)
 	flag.Parse()
+
+	reg, err := failpoint.Parse(*faults, *fseed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)
+		os.Exit(2)
+	}
+	synthFaults = reg
 
 	if *jsonBench {
 		if err := runCEGISBench(*width, *workers, "BENCH_cegis.json"); err != nil {

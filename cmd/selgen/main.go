@@ -8,6 +8,8 @@
 //	selgen -setup full -width 8 -timeout 30s -o full.json
 //	selgen -setup bmi -v
 //	selgen -setup quick -trace trace.json   # Chrome trace_event output
+//	selgen -setup full -journal run.journal # crash-safe checkpointing
+//	selgen -setup full -resume run.journal  # continue an interrupted run
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 	"time"
 
 	"selgen/internal/driver"
+	"selgen/internal/failpoint"
+	"selgen/internal/journal"
 	"selgen/internal/obs"
 )
 
@@ -31,6 +35,11 @@ func main() {
 		workers = flag.Int("sat-workers", 1, "diversified SAT portfolio workers for hard verification queries (1 = sequential)")
 		verbose = flag.Bool("v", false, "print per-goal progress")
 		trace   = flag.String("trace", "", "write a Chrome trace_event JSON file (view in chrome://tracing or Perfetto)")
+		jpath   = flag.String("journal", "", "write a crash-safe run journal (JSONL checkpoint) to this file")
+		resume  = flag.String("resume", "", "resume an interrupted run from this journal (implies -journal on the same file)")
+		faults  = flag.String("faults", "", "arm fault-injection points, e.g. 'sat.worker.crash=once,journal.kill=hit:2' (testing only)")
+		fseed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection modes")
+		retries = flag.Int("max-retries", 0, "retry-ladder depth for budget failures (0 = default, negative = single attempt, non-deadline errors fatal)")
 	)
 	flag.Parse()
 
@@ -55,6 +64,11 @@ func main() {
 	if *trace != "" {
 		tracer.EnableTrace()
 	}
+	reg, err := failpoint.Parse(*faults, *fseed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+		os.Exit(2)
+	}
 	opts := driver.Options{
 		Width:              *width,
 		PerGoalTimeout:     *timeout,
@@ -62,9 +76,47 @@ func main() {
 		Seed:               *seed,
 		SatWorkers:         *workers,
 		Obs:                tracer,
+		MaxRetries:         *retries,
+		Faults:             reg,
 	}
 	if *verbose {
 		opts.Progress = os.Stderr
+	}
+
+	if *resume != "" && *jpath != "" && *resume != *jpath {
+		fmt.Fprintf(os.Stderr, "selgen: -resume and -journal name different files; -resume continues journaling in place\n")
+		os.Exit(2)
+	}
+	if *resume != "" || *jpath != "" {
+		hdr := journal.Header{
+			Version:    journal.Version,
+			Setup:      *setup,
+			Width:      *width,
+			ConfigHash: driver.ConfigHash(groups, opts),
+		}
+		var jw *journal.Writer
+		if *resume != "" {
+			var rec *journal.Recovered
+			jw, rec, err = journal.Resume(*resume, hdr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+				os.Exit(1)
+			}
+			opts.Resume = rec.Index()
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "selgen: resuming from %s: %d goals recorded, %d torn bytes truncated\n",
+					*resume, len(rec.Goals), rec.TruncatedBytes)
+			}
+		} else {
+			jw, err = journal.Create(*jpath, hdr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		jw.Faults = reg
+		opts.Journal = jw
+		defer jw.Close()
 	}
 
 	start := time.Now()

@@ -141,6 +141,7 @@ func newEnc(cfg Config, goal *sem.Instr, comps []*sem.Instr, sc *synthCtx) (*enc
 		b.Simplify = !cfg.DisableTermSimplify
 		solver = smt.NewSolver(b)
 		solver.Obs = cfg.Obs
+		solver.Faults = cfg.Faults
 	}
 	e := &enc{
 		cfg:    cfg,

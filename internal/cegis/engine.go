@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"runtime/debug"
 	"time"
 
 	"selgen/internal/bv"
+	"selgen/internal/failpoint"
 	"selgen/internal/memmodel"
 	"selgen/internal/obs"
 	"selgen/internal/pattern"
@@ -85,6 +87,11 @@ type Config struct {
 	// synthesis/verification query) and counter/histogram metrics that
 	// subsume the Stats totals. Nil disables all instrumentation.
 	Obs *obs.Tracer
+	// Faults, when non-nil, arms the engine's failpoints
+	// (cegis.goal.deadline, cegis.verify.die) and is threaded into
+	// every solver the engine creates so the sat/smt failpoints fire
+	// too. Nil-safe like Obs.
+	Faults *failpoint.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +109,12 @@ func (c Config) withDefaults() Config {
 
 // ErrDeadline is returned when Config.Deadline expires mid-run.
 var ErrDeadline = errors.New("cegis: deadline exceeded")
+
+// ErrInternal marks a synthesis failure that is a bug, not a budget: a
+// panic inside the goal's synthesis loop, converted to an error at the
+// runGoal boundary so one broken goal cannot kill a whole driver run.
+// The driver quarantines such goals rather than retrying them.
+var ErrInternal = errors.New("cegis: internal error")
 
 // Stats accumulates synthesis effort counters.
 type Stats struct {
@@ -142,6 +155,9 @@ type Engine struct {
 	obs *obs.Tracer
 	tid int64
 
+	// faults is the fault-injection registry (nil = all failpoints off).
+	faults *failpoint.Registry
+
 	// Stats accumulate across Synthesize calls.
 	Stats Stats
 
@@ -165,6 +181,7 @@ func New(ops []*sem.Instr, cfg Config) *Engine {
 		cfg:       cfg.withDefaults(),
 		ops:       ops,
 		obs:       cfg.Obs,
+		faults:    cfg.Faults,
 		verifiers: make(map[*sem.Instr]*verifier),
 		synths:    make(map[*sem.Instr]*synthCtx),
 		cexes:     make(map[*sem.Instr]*cexCache),
@@ -267,8 +284,16 @@ func (e *Engine) verify(goal *sem.Instr, p *pattern.Pattern) (cex []uint64, ok b
 		defer v.solver.Pop()
 	}
 	c0 := v.solver.Stats.Conflicts
-	v.assertCandidate(e, p)
+	if aerr := v.assertCandidate(e, p); aerr != nil {
+		sp.End(obs.Str("result", "error"))
+		return nil, false, aerr
+	}
 	cex, ok, err = v.check(e, goal)
+	if err == nil && !ok && e.faults.Active(failpoint.CegisVerifyDie) {
+		// The classic worst moment to die: the counterexample is in hand
+		// but has not been recorded anywhere yet.
+		panic("failpoint: injected verifier death after counterexample")
+	}
 	result := "cex"
 	switch {
 	case ok:
@@ -524,14 +549,33 @@ func (e *Engine) SynthesizeAllSizes(goal *sem.Instr) (*Result, error) {
 // runGoal brackets one goal synthesis with a trace timeline and span,
 // and wraps a deadline abort with the goal's name at the public
 // boundary, so callers see which goal timed out and must classify the
-// error with errors.Is rather than comparing identity.
-func (e *Engine) runGoal(goal *sem.Instr, mode string, f func(*sem.Instr) (*Result, error)) (*Result, error) {
+// error with errors.Is rather than comparing identity. It is also the
+// engine's panic boundary: a panic anywhere in the synthesis loop is
+// converted to an error wrapping ErrInternal (with the stack attached)
+// so the driver can quarantine the goal instead of crashing the run.
+func (e *Engine) runGoal(goal *sem.Instr, mode string, f func(*sem.Instr) (*Result, error)) (res *Result, err error) {
+	if e.faults.Active(failpoint.CegisGoalDeadline) {
+		return &Result{Goal: goal},
+			fmt.Errorf("cegis: goal %s: %w", goal.Name, ErrDeadline)
+	}
 	if e.obs != nil {
 		e.tid = e.obs.NewTID("goal " + goal.Name)
 	}
 	sp := e.obs.Span(e.tid, "goal",
 		obs.Str("goal", goal.Name), obs.Str("mode", mode))
-	res, err := f(goal)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.obs.Add("cegis.goal_panics", 1)
+				err = fmt.Errorf("cegis: goal %s: %w: %v\n%s",
+					goal.Name, ErrInternal, r, debug.Stack())
+			}
+		}()
+		res, err = f(goal)
+	}()
+	if res == nil {
+		res = &Result{Goal: goal}
+	}
 	sp.End(obs.Int("patterns", int64(len(res.Patterns))),
 		obs.Int("min_len", int64(res.MinLen)))
 	if err == ErrDeadline {
@@ -702,6 +746,7 @@ func (e *Engine) AnalyzeMemoryNeeds(goal *sem.Instr) (needLoad, needStore bool) 
 		b := bv.NewBuilder()
 		solver := smt.NewSolver(b)
 		solver.Obs = e.obs
+		solver.Faults = e.faults
 		defer e.retireSolver(solver)
 		ctx := &sem.Ctx{B: b, Width: e.cfg.Width}
 		va := make([]*bv.Term, len(goal.Args))

@@ -1,0 +1,65 @@
+package cegis
+
+import (
+	"errors"
+	"testing"
+
+	"selgen/internal/failpoint"
+	"selgen/internal/ir"
+	"selgen/internal/x86"
+)
+
+func mustFaults(t *testing.T, spec string) *failpoint.Registry {
+	t.Helper()
+	reg, err := failpoint.Parse(spec, 1)
+	if err != nil {
+		t.Fatalf("failpoint.Parse(%q): %v", spec, err)
+	}
+	return reg
+}
+
+// TestVerifyDieBecomesErrInternal: the cegis.verify.die failpoint kills
+// the verifier at the worst moment — counterexample in hand, nothing
+// recorded. The panic must surface as an ErrInternal-wrapped error at
+// the Synthesize boundary, never as a process crash.
+func TestVerifyDieBecomesErrInternal(t *testing.T) {
+	e := New(ir.Ops(), Config{
+		Width: 8, MaxLen: 2, Seed: 1,
+		Faults: mustFaults(t, "cegis.verify.die=once"),
+	})
+	// inc needs a counterexample-driven refinement loop, so the
+	// failpoint is guaranteed to fire on some candidate's cex.
+	res, err := e.Synthesize(x86.Inc())
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("got err %v, want ErrInternal wrap", err)
+	}
+	if errors.Is(err, ErrDeadline) {
+		t.Fatalf("internal fault misclassified as deadline: %v", err)
+	}
+	if res == nil {
+		t.Fatalf("runGoal must return a non-nil Result even on panic")
+	}
+}
+
+// TestGoalDeadlineFailpoint: cegis.goal.deadline fails the attempt with
+// the same shape a real per-goal timeout produces — a goal-named error
+// wrapping ErrDeadline — so the driver ladder tests can trigger exactly
+// one retryable failure deterministically.
+func TestGoalDeadlineFailpoint(t *testing.T) {
+	e := New(ir.Ops(), Config{
+		Width: 8, MaxLen: 2, Seed: 1,
+		Faults: mustFaults(t, "cegis.goal.deadline=once"),
+	})
+	res, err := e.Synthesize(x86.AddInstr())
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("got err %v, want ErrDeadline wrap", err)
+	}
+	if res == nil || len(res.Patterns) != 0 {
+		t.Fatalf("failed attempt should carry an empty result, got %+v", res)
+	}
+	// Once spent, the engine synthesizes normally.
+	res, err = e.Synthesize(x86.AddInstr())
+	if err != nil || len(res.Patterns) == 0 {
+		t.Fatalf("retry got %d patterns, err %v", len(res.Patterns), err)
+	}
+}

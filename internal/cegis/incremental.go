@@ -41,6 +41,7 @@ func (e *Engine) newVerifier(goal *sem.Instr) *verifier {
 		ctx:    &sem.Ctx{B: b, Width: e.cfg.Width},
 	}
 	v.solver.Obs = e.obs
+	v.solver.Faults = e.faults
 	// The verification world (goal semantics, memory model) is blasted
 	// lazily under the first candidate's frame, so a garbage-collection
 	// rebuild makes the next candidate re-blast all of it. Give the
@@ -121,9 +122,17 @@ func (e *Engine) verifierFor(goal *sem.Instr) *verifier {
 }
 
 // assertCandidate adds the candidate's counterexample-search constraint
-// to the current solver frame.
-func (v *verifier) assertCandidate(e *Engine, p *pattern.Pattern) {
-	v.solver.Assert(v.violation(e, p))
+// to the current solver frame. Building the violation term walks the
+// candidate's semantics, so malformed patterns surface here; the panic
+// is converted to an error so verification of one candidate cannot take
+// down the goal.
+func (v *verifier) assertCandidate(e *Engine, p *pattern.Pattern) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: asserting candidate: %v", ErrInternal, r)
+		}
+	}()
+	return v.solver.TryAssert(v.violation(e, p))
 }
 
 // check runs the verification query and extracts a counterexample on
@@ -167,6 +176,7 @@ func (e *Engine) synthCtxFor(goal *sem.Instr) *synthCtx {
 		b.Simplify = !e.cfg.DisableTermSimplify
 		sc = &synthCtx{b: b, solver: smt.NewSolver(b)}
 		sc.solver.Obs = e.obs
+		sc.solver.Faults = e.faults
 		e.synths[goal] = sc
 		e.liveSolvers = append(e.liveSolvers, sc.solver)
 	}

@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"selgen/internal/cegis"
+	"selgen/internal/failpoint"
 	"selgen/internal/ir"
+	"selgen/internal/journal"
 	"selgen/internal/obs"
 	"selgen/internal/pattern"
 	"selgen/internal/sem"
@@ -57,6 +59,13 @@ type GroupReport struct {
 	Elapsed  time.Duration
 	// Solver aggregates the group's engine and solver effort.
 	Solver SolverEffort
+	// Per-goal disposition counts (see GoalStatus); OK + Retried +
+	// Degraded + Quarantined = Goals. Replayed counts goals restored
+	// from a resume journal instead of synthesized (already included in
+	// the other four by their recorded status).
+	OK, Retried, Degraded, Quarantined, Replayed int
+	// QuarantinedGoals names the goals quarantined in this group.
+	QuarantinedGoals []string
 }
 
 // SolverEffort aggregates synthesis-engine and SMT-solver counters
@@ -132,10 +141,30 @@ func (r *Report) WriteTable(w io.Writer) {
 		writeEffortRow(w, g.Name, g.Solver)
 	}
 	writeEffortRow(w, "Total", r.Total.Solver)
+	if n := r.Total.Retried + r.Total.Degraded + r.Total.Quarantined + r.Total.Replayed; n > 0 {
+		// Status breakdown, shown only when something abnormal happened:
+		// an all-OK run keeps the clean Table 2 shape.
+		fmt.Fprintf(w, "%-12s %7s %9s %10s %13s %10s\n",
+			"Status", "OK", "Retried", "Degraded", "Quarantined", "Replayed")
+		for _, g := range r.Groups {
+			writeStatusRow(w, g)
+		}
+		writeStatusRow(w, r.Total)
+		for _, g := range r.Groups {
+			for _, name := range g.QuarantinedGoals {
+				fmt.Fprintf(w, "  quarantined: %s/%s\n", g.Name, name)
+			}
+		}
+	}
 	if r.Metrics != nil {
 		fmt.Fprintln(w)
 		r.Metrics.WriteSummary(w)
 	}
+}
+
+func writeStatusRow(w io.Writer, g GroupReport) {
+	fmt.Fprintf(w, "%-12s %7d %9d %10d %13d %10d\n",
+		g.Name, g.OK, g.Retried, g.Degraded, g.Quarantined, g.Replayed)
 }
 
 func writeEffortRow(w io.Writer, name string, s SolverEffort) {
@@ -267,9 +296,31 @@ type Options struct {
 	// always populated; attach trace/progress sinks to a caller-owned
 	// tracer (see cmd/selgen's -trace flag).
 	Obs *obs.Tracer
+	// MaxRetries sets the retry-ladder depth for goals that fail with a
+	// retryable (budget) error: 0 means DefaultRetries, a negative
+	// value disables the ladder entirely — one attempt per goal, and
+	// any non-deadline error aborts the run (the pre-ladder behaviour,
+	// kept for tests that assert errors propagate).
+	MaxRetries int
+	// Journal, when non-nil, receives a crash-safe checkpoint record
+	// the moment each goal finishes (see package journal). Append
+	// failures are reported and counted, never fatal.
+	Journal *journal.Writer
+	// Resume maps journal keys (journal.Key) to recovered records:
+	// goals found here are replayed from the journal instead of
+	// synthesized, and are not re-appended. Populate it from
+	// journal.Resume's Recovered.Index().
+	Resume map[string]journal.GoalRecord
+	// Faults, when non-nil, arms fault-injection points throughout the
+	// stack (driver, cegis, smt, sat, journal). Nil in production.
+	Faults *failpoint.Registry
 }
 
-// Run synthesizes all groups into one library.
+// Run synthesizes all groups into one library. Each goal runs behind a
+// panic boundary and a budget-escalation retry ladder (see retry.go):
+// with the ladder enabled (Options.MaxRetries ≥ 0, the default), Run
+// only fails on setup errors — a goal that cannot be synthesized is
+// degraded or quarantined and reported, never fatal.
 func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 	if opts.Width == 0 {
 		opts.Width = 8
@@ -278,6 +329,7 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 		// Generous per-query bound: ordinary queries at width 8 take a
 		// few thousand conflicts; a multiset blowing this budget is
 		// abandoned (Stats.QueryTimeouts) rather than stalling the run.
+		// (ConfigHash applies the same defaults; keep them in sync.)
 		opts.QueryConflicts = 200_000
 	}
 	tr := opts.Obs
@@ -290,6 +342,7 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 	lib := &pattern.Library{Width: opts.Width}
 	rep := &Report{Metrics: tr.Metrics()}
 	ops := ir.Ops()
+	r := &runner{opts: opts, tr: tr, faults: opts.Faults}
 
 	workers := opts.Parallel
 	if workers < 1 {
@@ -302,17 +355,12 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 			obs.Int("goals", int64(len(grp.Goals))))
 		start := time.Now()
 
-		type goalOut struct {
-			res    *cegis.Result
-			err    error
-			effort SolverEffort
-		}
 		outs := make([]goalOut, len(grp.Goals))
-		sem := make(chan struct{}, workers)
+		slots := make(chan struct{}, workers)
 		done := make(chan int, len(grp.Goals))
 		for gi, goal := range grp.Goals {
 			gi, goal := gi, goal
-			sem <- struct{}{}
+			slots <- struct{}{}
 			goalOps := ops
 			if grp.Ops != nil {
 				goalOps = grp.Ops
@@ -324,28 +372,8 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 				perGoal = 0
 			}
 			go func() {
-				defer func() { <-sem; done <- gi }()
-				cfg := cegis.Config{
-					Width:                  opts.Width,
-					MaxLen:                 grp.MaxLen,
-					QueryConflicts:         opts.QueryConflicts,
-					MaxPatternsPerGoal:     perGoal,
-					MaxPatternsPerMultiset: grp.MaxPatternsPerMultiset,
-					FreezeArgWitnesses:     grp.FreezeArgWitnesses,
-					Seed:                   opts.Seed,
-					SatWorkers:             opts.SatWorkers,
-					Obs:                    tr,
-				}
-				if opts.PerGoalTimeout > 0 {
-					cfg.Deadline = time.Now().Add(opts.PerGoalTimeout)
-				}
-				e := cegis.New(goalOps, cfg)
-				if grp.AllSizes {
-					outs[gi].res, outs[gi].err = e.SynthesizeAllSizes(goal)
-				} else {
-					outs[gi].res, outs[gi].err = e.Synthesize(goal)
-				}
-				outs[gi].effort = effortOf(e)
+				defer func() { <-slots; done <- gi }()
+				outs[gi] = r.runOne(grp, gi, goal, goalOps, perGoal)
 			}()
 		}
 		for range grp.Goals {
@@ -353,32 +381,57 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 		}
 
 		for gi, goal := range grp.Goals {
-			res, err := outs[gi].res, outs[gi].err
-			// The engine wraps ErrDeadline with the goal name, so this
-			// must classify with errors.Is: an identity comparison would
-			// turn every per-goal timeout into a fatal run abort.
-			if err != nil && !errors.Is(err, cegis.ErrDeadline) {
-				return nil, nil, fmt.Errorf("driver: %s/%s: %w", grp.Name, goal.Name, err)
+			o := &outs[gi]
+			// Legacy (ladder-off) classification: the engine wraps
+			// ErrDeadline with the goal name, so this must use errors.Is —
+			// an identity comparison would turn every per-goal timeout
+			// into a fatal run abort.
+			if r.legacy() && o.err != nil && !errors.Is(o.err, cegis.ErrDeadline) {
+				return nil, nil, fmt.Errorf("driver: %s/%s: %w", grp.Name, goal.Name, o.err)
 			}
-			for _, p := range res.Patterns {
+			for _, p := range o.res.Patterns {
 				lib.Add(pattern.Rule{Goal: goal.Name, GoalCost: goal.CostOrDefault(), Pattern: p})
 				if s := p.Size(); s > gr.MaxSize {
 					gr.MaxSize = s
 				}
 			}
-			gr.Patterns += len(res.Patterns)
-			gr.Solver.add(outs[gi].effort)
+			gr.Patterns += len(o.res.Patterns)
+			gr.Solver.add(o.effort)
+			switch o.status {
+			case StatusOK:
+				gr.OK++
+			case StatusRetried:
+				gr.Retried++
+			case StatusDegraded:
+				gr.Degraded++
+			case StatusQuarantined:
+				gr.Quarantined++
+				gr.QuarantinedGoals = append(gr.QuarantinedGoals, goal.Name)
+			}
+			if o.replayed {
+				gr.Replayed++
+			}
 			if opts.Progress != nil {
 				status := ""
-				if errors.Is(err, cegis.ErrDeadline) {
+				switch {
+				case o.replayed:
+					status = " (replayed)"
+				case o.status == StatusQuarantined:
+					status = " (quarantined)"
+				case errors.Is(o.err, cegis.ErrDeadline):
 					status = " (timeout)"
+				case o.status == StatusRetried:
+					status = fmt.Sprintf(" (ok after %d attempts)", o.attempts)
 				}
-				ef := outs[gi].effort
+				ef := o.effort
 				tr.Progressf(
 					"  %-24s %4d patterns in %s%s [checks %d+%d, conflicts %d, blast %.0f%%, cex reuse %d, kills %d, timeouts %d]\n",
-					goal.Name, len(res.Patterns), res.Elapsed.Round(time.Millisecond), status,
+					goal.Name, len(o.res.Patterns), o.res.Elapsed.Round(time.Millisecond), status,
 					ef.SynthQueries, ef.VerifyQueries, ef.Conflicts,
 					100*ef.BlastHitRate(), ef.CexReused, ef.PrefilterKills, ef.QueryTimeouts)
+				if o.status == StatusQuarantined && o.err != nil {
+					tr.Progressf("  %-24s      quarantined: %s\n", "", firstLine(o.err.Error()))
+				}
 			}
 		}
 		gr.Elapsed = time.Since(start)
@@ -388,6 +441,11 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 		rep.Total.Patterns += gr.Patterns
 		rep.Total.Elapsed += gr.Elapsed
 		rep.Total.Solver.add(gr.Solver)
+		rep.Total.OK += gr.OK
+		rep.Total.Retried += gr.Retried
+		rep.Total.Degraded += gr.Degraded
+		rep.Total.Quarantined += gr.Quarantined
+		rep.Total.Replayed += gr.Replayed
 		if gr.MaxSize > rep.Total.MaxSize {
 			rep.Total.MaxSize = gr.MaxSize
 		}

@@ -1,0 +1,296 @@
+// Per-goal fault tolerance: the retry ladder, the panic quarantine, and
+// the error classification that decides between them. A goal that blows
+// its budget (deadline, SMT conflict budget) is retried with escalating
+// resources — longer timeout, a SAT portfolio, finally the classical
+// non-incremental pipeline — while a goal that hits a bug (a panic
+// anywhere below the driver, an internal solver error) is quarantined:
+// recorded with its stack, reported, and skipped, so one broken goal
+// never kills a whole library run.
+
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"selgen/internal/cegis"
+	"selgen/internal/failpoint"
+	"selgen/internal/journal"
+	"selgen/internal/obs"
+	"selgen/internal/sem"
+	"selgen/internal/smt"
+)
+
+// GoalStatus is a goal's terminal disposition within a run.
+type GoalStatus int
+
+const (
+	// StatusOK: synthesized on the first attempt.
+	StatusOK GoalStatus = iota
+	// StatusRetried: failed at least one attempt with a retryable error
+	// but succeeded on a later rung of the ladder.
+	StatusRetried
+	// StatusDegraded: every rung failed with a retryable error; the last
+	// attempt's partial patterns (all individually verified) are kept.
+	StatusDegraded
+	// StatusQuarantined: the goal hit a non-retryable error (typically a
+	// panic converted at a package boundary); its patterns are dropped
+	// and the run continues without it.
+	StatusQuarantined
+)
+
+func (s GoalStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRetried:
+		return "retried"
+	case StatusDegraded:
+		return "degraded"
+	case StatusQuarantined:
+		return "quarantined"
+	}
+	return fmt.Sprintf("GoalStatus(%d)", int(s))
+}
+
+func statusFromString(s string) GoalStatus {
+	switch s {
+	case "retried":
+		return StatusRetried
+	case "degraded":
+		return StatusDegraded
+	case "quarantined":
+		return StatusQuarantined
+	}
+	return StatusOK
+}
+
+// ErrGoalPanic marks a panic that escaped the synthesis engine and was
+// caught at the driver's per-goal boundary (classify with errors.Is).
+var ErrGoalPanic = errors.New("driver: goal panicked")
+
+// DefaultRetries is the ladder depth used when Options.MaxRetries is 0.
+const DefaultRetries = 2
+
+// rung is one step of the retry ladder: the resources granted to one
+// synthesis attempt.
+type rung struct {
+	timeout    time.Duration
+	satWorkers int
+	// classical reverts to the non-incremental CEGIS pipeline — fresh
+	// solver state per multiset and per query — trading speed for
+	// minimal shared state, the last resort when incremental runs keep
+	// blowing the budget.
+	classical bool
+}
+
+// runner carries one Run invocation's shared state into the per-goal
+// workers.
+type runner struct {
+	opts   Options
+	tr     *obs.Tracer
+	faults *failpoint.Registry
+}
+
+// ladder returns the attempt sequence for one goal. Rung 0 is the
+// configured budget; rung 1 doubles the timeout and enables a SAT
+// portfolio; rung 2 quadruples the timeout (the cap) and falls back to
+// classical CEGIS. MaxRetries < 0 disables the ladder (single attempt,
+// legacy error handling); deeper ladders repeat the rung-2 shape.
+func (r *runner) ladder() []rung {
+	base := rung{timeout: r.opts.PerGoalTimeout, satWorkers: r.opts.SatWorkers}
+	retries := r.opts.MaxRetries
+	if retries < 0 {
+		return []rung{base}
+	}
+	if retries == 0 {
+		retries = DefaultRetries
+	}
+	rungs := []rung{base}
+	for i := 1; i <= retries; i++ {
+		rg := base
+		if base.timeout > 0 {
+			rg.timeout = base.timeout * time.Duration(1<<min(i, 2))
+		}
+		if rg.satWorkers < 2 {
+			rg.satWorkers = 2
+		}
+		rg.classical = i >= 2
+		rungs = append(rungs, rg)
+	}
+	return rungs
+}
+
+func (r *runner) legacy() bool { return r.opts.MaxRetries < 0 }
+
+// retryable reports whether the error is a budget exhaustion a bigger
+// budget might cure, as opposed to a bug (panic, internal error) that
+// would only recur.
+func retryable(err error) bool {
+	return errors.Is(err, cegis.ErrDeadline) || errors.Is(err, smt.ErrBudget)
+}
+
+// goalOut is one goal's terminal outcome.
+type goalOut struct {
+	res      *cegis.Result
+	err      error
+	effort   SolverEffort
+	status   GoalStatus
+	attempts int
+	replayed bool
+}
+
+// runOne produces a goal's outcome: replayed from the resume journal if
+// recorded there, synthesized through the retry ladder otherwise, and —
+// when freshly synthesized — appended to the run's journal.
+func (r *runner) runOne(grp Group, gi int, goal *sem.Instr, goalOps []*sem.Instr, perGoal int) goalOut {
+	if rec, ok := r.opts.Resume[journal.Key(grp.Name, gi, goal.Name)]; ok {
+		r.tr.Add("driver.resume.replayed", 1)
+		return goalOut{
+			res: &cegis.Result{
+				Goal:     goal,
+				Patterns: rec.Patterns,
+				MinLen:   rec.MinLen,
+				Elapsed:  time.Duration(rec.ElapsedMS) * time.Millisecond,
+			},
+			status:   statusFromString(rec.Status),
+			attempts: rec.Attempts,
+			replayed: true,
+		}
+	}
+	out := r.synthesizeWithRetries(grp, goal, goalOps, perGoal)
+	r.journalAppend(grp.Name, gi, goal.Name, out)
+	return out
+}
+
+// synthesizeWithRetries walks the goal up the retry ladder. A clean
+// attempt wins immediately; a non-retryable error quarantines the goal;
+// exhausting the ladder on retryable errors degrades it, keeping the
+// last attempt's verified partial patterns.
+func (r *runner) synthesizeWithRetries(grp Group, goal *sem.Instr, goalOps []*sem.Instr, perGoal int) goalOut {
+	rungs := r.ladder()
+	var out goalOut
+	for ai, rg := range rungs {
+		res, effort, err := r.attemptGoal(grp, goal, goalOps, perGoal, rg)
+		out.effort.add(effort)
+		out.attempts = ai + 1
+		out.res, out.err = res, err
+		if err == nil {
+			if ai > 0 {
+				out.status = StatusRetried
+				r.tr.Add("driver.retry.recovered", 1)
+			}
+			break
+		}
+		if r.legacy() {
+			// Single attempt; classification (deadline tolerated, the
+			// rest fatal) happens in the aggregation loop.
+			if errors.Is(err, cegis.ErrDeadline) {
+				out.status = StatusDegraded
+			}
+			break
+		}
+		if !retryable(err) {
+			out.status = StatusQuarantined
+			r.tr.Add("driver.quarantine", 1)
+			break
+		}
+		if ai < len(rungs)-1 {
+			r.tr.Add("driver.retry.attempts", 1)
+			continue
+		}
+		out.status = StatusDegraded
+		r.tr.Add("driver.retry.exhausted", 1)
+	}
+	if out.res == nil {
+		out.res = &cegis.Result{Goal: goal}
+	}
+	if out.status == StatusQuarantined {
+		// A quarantined goal contributes nothing: its engine died mid-
+		// enumeration, so any patterns it found are discarded along with
+		// the goal rather than shipping a visibly truncated rule set.
+		out.res = &cegis.Result{Goal: goal}
+	}
+	return out
+}
+
+// attemptGoal runs one synthesis attempt under the rung's budget. It is
+// the driver's panic boundary: whatever escapes the engine (or the
+// engine construction itself) is converted to an error wrapping
+// ErrGoalPanic, with the stack attached for the quarantine report.
+func (r *runner) attemptGoal(grp Group, goal *sem.Instr, goalOps []*sem.Instr, perGoal int, rg rung) (res *cegis.Result, effort SolverEffort, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.tr.Add("driver.goal_panics", 1)
+			err = fmt.Errorf("driver: goal %s: %w: %v\n%s",
+				goal.Name, ErrGoalPanic, rec, debug.Stack())
+		}
+	}()
+	if r.faults.Active(failpoint.DriverGoalPanic) {
+		panic("failpoint: injected driver goal panic")
+	}
+	cfg := cegis.Config{
+		Width:                  r.opts.Width,
+		MaxLen:                 grp.MaxLen,
+		QueryConflicts:         r.opts.QueryConflicts,
+		MaxPatternsPerGoal:     perGoal,
+		MaxPatternsPerMultiset: grp.MaxPatternsPerMultiset,
+		FreezeArgWitnesses:     grp.FreezeArgWitnesses,
+		Seed:                   r.opts.Seed,
+		SatWorkers:             rg.satWorkers,
+		DisableIncremental:     rg.classical,
+		Obs:                    r.tr,
+		Faults:                 r.faults,
+	}
+	if rg.timeout > 0 {
+		cfg.Deadline = time.Now().Add(rg.timeout)
+	}
+	e := cegis.New(goalOps, cfg)
+	// Registered after the engine exists, so an attempt that panics
+	// mid-synthesis still reports the effort it burned.
+	defer func() { effort = effortOf(e) }()
+	if grp.AllSizes {
+		res, err = e.SynthesizeAllSizes(goal)
+	} else {
+		res, err = e.Synthesize(goal)
+	}
+	return res, effort, err
+}
+
+// journalAppend records a freshly synthesized goal in the run journal.
+// Append failures are reported and counted but never fatal: losing
+// checkpoint durability is strictly better than losing the run.
+func (r *runner) journalAppend(group string, gi int, goal string, out goalOut) {
+	if r.opts.Journal == nil {
+		return
+	}
+	rec := journal.GoalRecord{
+		Group:    group,
+		Index:    gi,
+		Goal:     goal,
+		Status:   out.status.String(),
+		Attempts: out.attempts,
+		MinLen:   out.res.MinLen,
+		Patterns: out.res.Patterns,
+	}
+	if out.res.Elapsed > 0 {
+		rec.ElapsedMS = out.res.Elapsed.Milliseconds()
+	}
+	if out.err != nil {
+		rec.Err = firstLine(out.err.Error())
+	}
+	if err := r.opts.Journal.Append(rec); err != nil {
+		r.tr.Add("driver.journal.errors", 1)
+		r.tr.Progressf("  journal: %v\n", err)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,341 @@
+// Package journal implements the crash-safe run journal: an
+// append-only JSONL checkpoint of per-goal synthesis outcomes. The
+// driver appends one record — status plus the verified patterns — the
+// moment a goal finishes, each record fsync'd before the run proceeds,
+// so a crash (panic, OOM kill, SIGKILL) loses at most the goal that was
+// in flight. `selgen -resume <journal>` validates the header (setup,
+// width, config hash), truncates a torn tail, replays the completed
+// goals, and re-runs only the rest, reproducing the exact rule library
+// an uninterrupted run would have produced (synthesis is deterministic
+// per goal, and the driver merges results in goal order).
+//
+// File format: line 1 is a header record, every further line one goal
+// record. Records are single-line JSON objects with a "kind"
+// discriminator. Appends are atomic at the record level: one Write call
+// for the whole line, followed by File.Sync. A crash mid-append leaves
+// a final line without a terminating newline (or an unparsable JSON
+// prefix); Resume truncates the file back to the last intact record.
+// Any other malformation — a corrupt record mid-file, a duplicate goal
+// entry, a header mismatch — is reported as a clear error rather than
+// silently repaired, because it indicates corruption (or operator
+// error) beyond what a torn append can produce.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"selgen/internal/failpoint"
+	"selgen/internal/pattern"
+)
+
+// Version is the journal format version; bumped on incompatible record
+// changes.
+const Version = 1
+
+// Header identifies the run a journal belongs to. Resume refuses a
+// journal whose header differs from the current run's, so patterns
+// synthesized under one configuration are never replayed into another.
+type Header struct {
+	Version int    `json:"version"`
+	Setup   string `json:"setup"`
+	Width   int    `json:"width"`
+	// ConfigHash fingerprints everything else that shapes the library
+	// (group structure, seeds, budgets); see driver.ConfigHash.
+	ConfigHash string `json:"configHash"`
+}
+
+// GoalRecord is one completed goal: its identity within the run, its
+// final status, and the verified patterns it contributed.
+type GoalRecord struct {
+	Group string `json:"group"`
+	// Index is the goal's position within its group; together with
+	// Group and Goal it keys the record (goal names are unique per
+	// group today, but the index keeps keys collision-free if that
+	// ever changes).
+	Index    int    `json:"index"`
+	Goal     string `json:"goal"`
+	Status   string `json:"status"` // ok | retried | degraded | quarantined
+	Attempts int    `json:"attempts,omitempty"`
+	// MinLen and Patterns mirror cegis.Result: replaying them yields
+	// the same library contribution as re-running the goal.
+	MinLen    int               `json:"minLen"`
+	Patterns  []pattern.Pattern `json:"patterns,omitempty"`
+	ElapsedMS int64             `json:"elapsedMs,omitempty"`
+	// Err is the first line of the goal's terminal error, if any
+	// (degraded and quarantined records).
+	Err string `json:"err,omitempty"`
+}
+
+// Key returns the record's identity within the run.
+func (g GoalRecord) Key() string { return Key(g.Group, g.Index, g.Goal) }
+
+// Key builds the journal key of a goal.
+func Key(group string, index int, goal string) string {
+	return fmt.Sprintf("%s/%d/%s", group, index, goal)
+}
+
+// record is the on-disk line envelope.
+type record struct {
+	Kind   string      `json:"kind"` // "header" or "goal"
+	Header *Header     `json:"header,omitempty"`
+	Goal   *GoalRecord `json:"goal,omitempty"`
+}
+
+// Writer appends records to a journal file. Safe for concurrent use
+// (the driver may finish goals on parallel workers).
+type Writer struct {
+	mu sync.Mutex
+	f  *os.File
+
+	// Faults, when non-nil, arms the journal failpoints: torn writes
+	// (a record prefix is written without its tail, then an error is
+	// reported) and post-append process kills (for crash/resume
+	// testing).
+	Faults *failpoint.Registry
+}
+
+// Create starts a fresh journal at path, truncating any previous file,
+// and writes the header record.
+func Create(path string, h Header) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w := &Writer{f: f}
+	if err := w.writeHeader(h); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Writer) writeHeader(h Header) error {
+	buf, err := json.Marshal(record{Kind: "header", Header: &h})
+	if err != nil {
+		return fmt.Errorf("journal: encoding header: %w", err)
+	}
+	return w.append(append(buf, '\n'))
+}
+
+// Append durably records one completed goal: the full line is written
+// in a single Write call and fsync'd before Append returns, so the
+// record survives any crash that happens afterwards.
+func (w *Writer) Append(g GoalRecord) error {
+	buf, err := json.Marshal(record{Kind: "goal", Goal: &g})
+	if err != nil {
+		return fmt.Errorf("journal: encoding %s: %w", g.Key(), err)
+	}
+	buf = append(buf, '\n')
+	if w.Faults.Active(failpoint.JournalTornWrite) {
+		// Simulate a crash mid-append: half the record reaches the
+		// disk, the newline never does.
+		w.mu.Lock()
+		w.f.Write(buf[:len(buf)/2])
+		w.f.Sync()
+		w.mu.Unlock()
+		return fmt.Errorf("journal: injected torn write for %s", g.Key())
+	}
+	if err := w.append(buf); err != nil {
+		return err
+	}
+	if w.Faults.Active(failpoint.JournalKill) {
+		// A deterministic SIGKILL right after the record is durable:
+		// the resume path must reproduce the uninterrupted run from
+		// exactly this prefix. (Unix Kill is uncatchable, so no
+		// deferred cleanup runs — the point of the exercise.)
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			p.Kill()
+		}
+	}
+	return nil
+}
+
+func (w *Writer) append(line []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return w.f.Close()
+}
+
+// Path returns the journal file's name.
+func (w *Writer) Path() string { return w.f.Name() }
+
+// Recovered is what Resume salvaged from an interrupted run.
+type Recovered struct {
+	Header Header
+	// Goals holds the intact goal records in journal order.
+	Goals []GoalRecord
+	// TruncatedBytes counts torn-tail bytes dropped from the file
+	// (zero for a cleanly written journal).
+	TruncatedBytes int
+
+	// sawHeader records whether an intact header line was read (false
+	// only for an empty or header-torn file, which Resume re-heads).
+	sawHeader bool
+}
+
+// Index returns the recovered goals keyed by Key, the form the driver
+// consumes.
+func (r *Recovered) Index() map[string]GoalRecord {
+	m := make(map[string]GoalRecord, len(r.Goals))
+	for _, g := range r.Goals {
+		m[g.Key()] = g
+	}
+	return m
+}
+
+// Resume opens an existing journal for continuation: it validates the
+// header against want, truncates a torn tail, and returns a Writer
+// positioned to append plus the recovered records. An empty file (a
+// crash before the header reached the disk) is recovered as a fresh
+// journal: the header is written and no goals are replayed.
+func Resume(path string, want Header) (*Writer, *Recovered, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	w := &Writer{f: f}
+	rec, err := scan(f, want)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if rec.TruncatedBytes > 0 {
+		if err := truncateTail(f, rec.TruncatedBytes); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	// ReadAll (and a truncation) leave the offset away from the logical
+	// end; position for appends before any write.
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if !rec.sawHeader {
+		// Empty file (or a journal whose only, torn line was the
+		// header): recover by starting the journal afresh.
+		rec.Header = want
+		if err := w.writeHeader(want); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return w, rec, nil
+}
+
+// scan parses the journal, validating the header and goal records. It
+// reports a torn tail via Recovered.TruncatedBytes and fails on any
+// corruption a torn append cannot explain.
+func scan(f *os.File, want Header) (*Recovered, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	rec := &Recovered{}
+	if len(data) == 0 {
+		return rec, nil
+	}
+	seen := make(map[string]bool)
+	sawHeader := false
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// No terminating newline: the final append was torn.
+			rec.TruncatedBytes = len(data) - off
+			break
+		}
+		line := data[off : off+nl]
+		end := off + nl + 1
+		var r record
+		if uerr := json.Unmarshal(line, &r); uerr != nil {
+			if end == len(data) {
+				// An unparsable final line is a torn append whose
+				// prefix happened to include a newline byte inside a
+				// string — recoverable like any torn tail.
+				rec.TruncatedBytes = len(data) - off
+				break
+			}
+			return nil, fmt.Errorf("journal: corrupt record at byte %d: %v", off, uerr)
+		}
+		switch r.Kind {
+		case "header":
+			if sawHeader {
+				return nil, fmt.Errorf("journal: duplicate header at byte %d", off)
+			}
+			if r.Header == nil {
+				return nil, fmt.Errorf("journal: header record without body at byte %d", off)
+			}
+			sawHeader = true
+			if err := checkHeader(*r.Header, want); err != nil {
+				return nil, err
+			}
+			rec.Header = *r.Header
+			rec.sawHeader = true
+		case "goal":
+			if !sawHeader {
+				return nil, fmt.Errorf("journal: goal record before header at byte %d", off)
+			}
+			if r.Goal == nil {
+				return nil, fmt.Errorf("journal: goal record without body at byte %d", off)
+			}
+			if key := r.Goal.Key(); seen[key] {
+				return nil, fmt.Errorf("journal: duplicate entry for goal %s at byte %d", key, off)
+			} else {
+				seen[key] = true
+			}
+			rec.Goals = append(rec.Goals, *r.Goal)
+		default:
+			return nil, fmt.Errorf("journal: unknown record kind %q at byte %d", r.Kind, off)
+		}
+		off = end
+	}
+	if !sawHeader && rec.TruncatedBytes > 0 {
+		// The only line was torn: same recovery as an empty file.
+		return &Recovered{TruncatedBytes: rec.TruncatedBytes}, nil
+	}
+	return rec, nil
+}
+
+func checkHeader(got, want Header) error {
+	if got.Version != want.Version {
+		return fmt.Errorf("journal: version mismatch: journal has v%d, this binary writes v%d", got.Version, want.Version)
+	}
+	if got.Setup != want.Setup || got.Width != want.Width || got.ConfigHash != want.ConfigHash {
+		return fmt.Errorf("journal: config mismatch: journal was written by setup=%q width=%d hash=%s; this run is setup=%q width=%d hash=%s — resume with matching flags or start a fresh journal",
+			got.Setup, got.Width, got.ConfigHash, want.Setup, want.Width, want.ConfigHash)
+	}
+	return nil
+}
+
+func truncateTail(f *os.File, tail int) error {
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Truncate(fi.Size() - int64(tail)); err != nil {
+		return fmt.Errorf("journal: truncating torn tail: %w", err)
+	}
+	return f.Sync()
+}

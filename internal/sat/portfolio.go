@@ -18,13 +18,22 @@
 package sat
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"selgen/internal/failpoint"
 	"selgen/internal/obs"
 )
+
+// ErrWorkerPanic is wrapped into the error a portfolio Solve returns
+// when worker goroutines crashed and no surviving worker produced an
+// answer. A crash in one worker while another answers is contained:
+// the verdict comes from the survivor and the crash only surfaces in
+// the sat.portfolio.worker_panics counter.
+var ErrWorkerPanic = errors.New("sat: portfolio worker panicked")
 
 // MaxSharedLen is the longest learnt clause published to an Exchange:
 // short clauses prune the most per literal and keep the buffer cheap.
@@ -213,6 +222,10 @@ type Portfolio struct {
 	// Obs, when non-nil, receives sat.portfolio.* counters and a
 	// sat.portfolio.worker span per worker (winner and wasted effort).
 	Obs *obs.Tracer
+	// Faults, when non-nil, arms the portfolio failpoints
+	// (failpoint.SatWorkerCrash panics inside a worker goroutine; the
+	// crash is contained and counted). Nil-safe like Obs.
+	Faults *failpoint.Registry
 }
 
 // workerConfig returns worker i's diversification: worker 0 mirrors the
@@ -309,6 +322,20 @@ func (p *Portfolio) fanOut(s *Solver, opts Options, assumptions []Lit) (Status, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Contain worker crashes: a panicking worker (a solver bug,
+			// or the sat.worker.crash failpoint) must not kill the
+			// process while its siblings can still answer the query. The
+			// crashed worker simply never becomes the winner.
+			defer func() {
+				if r := recover(); r != nil {
+					p.Obs.Add("sat.portfolio.worker_panics", 1)
+					outs[i] = outcome{status: Unknown,
+						err: fmt.Errorf("%w: worker %d: %v", ErrWorkerPanic, i, r)}
+				}
+			}()
+			if p.Faults.Active(failpoint.SatWorkerCrash) {
+				panic("failpoint: injected sat worker crash")
+			}
 			w := sn.build()
 			wopts := opts
 			wopts.Stop = &stop
@@ -341,7 +368,25 @@ func (p *Portfolio) fanOut(s *Solver, opts Options, assumptions []Lit) (Status, 
 	p.Obs.Add("sat.portfolio.wasted_conflicts", wasted)
 
 	if wi < 0 {
-		// Every worker exhausted its budget or deadline.
+		// No worker answered. If every worker died by panic there is no
+		// budget story to tell — surface the crash so callers classify
+		// it as an internal fault rather than a retryable timeout.
+		allPanic := true
+		var panicErr error
+		for i := range outs {
+			if errors.Is(outs[i].err, ErrWorkerPanic) {
+				if panicErr == nil {
+					panicErr = outs[i].err
+				}
+			} else {
+				allPanic = false
+			}
+		}
+		if allPanic && panicErr != nil {
+			return Unknown, panicErr
+		}
+		// Otherwise the surviving workers exhausted their budget or
+		// deadline.
 		return Unknown, ErrBudget
 	}
 	win := outs[wi]

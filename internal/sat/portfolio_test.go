@@ -1,10 +1,15 @@
 package sat
 
 import (
+	"errors"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"selgen/internal/failpoint"
+	"selgen/internal/obs"
 )
 
 // cnf is an instance both as a clause list (for model verification and
@@ -464,5 +469,99 @@ func TestPortfolioStatsFold(t *testing.T) {
 	}
 	if s.Stats.Conflicts <= before {
 		t.Fatalf("winner's conflicts were not folded into the source solver")
+	}
+}
+
+// mustFaults builds an armed fault registry or fails the test.
+func mustFaults(t *testing.T, spec string) *failpoint.Registry {
+	t.Helper()
+	reg, err := failpoint.Parse(spec, 1)
+	if err != nil {
+		t.Fatalf("failpoint.Parse(%q): %v", spec, err)
+	}
+	return reg
+}
+
+// TestPortfolioWorkerCrashContained: one worker panicking mid-search
+// must not kill the process — a sibling still answers the query, and
+// the crash is visible in the worker_panics counter.
+func TestPortfolioWorkerCrashContained(t *testing.T) {
+	inst := pigeonholeCNF(6, 5)
+	tr := obs.New()
+	pf := &Portfolio{
+		Workers: 3, ProbeConflicts: -1, Seed: 1,
+		Obs:    tr,
+		Faults: mustFaults(t, "sat.worker.crash=once"),
+	}
+	st, err := pf.Solve(inst.solver(), Options{})
+	if err != nil || st != Unsat {
+		t.Fatalf("crash not contained: got %v %v, want Unsat <nil>", st, err)
+	}
+	if got := tr.Metrics().CounterValue("sat.portfolio.worker_panics"); got != 1 {
+		t.Fatalf("worker_panics = %d, want 1", got)
+	}
+	if fired := pf.Faults.Fired(failpoint.SatWorkerCrash); fired != 1 {
+		t.Fatalf("failpoint fired %d times, want 1", fired)
+	}
+}
+
+// TestPortfolioAllWorkersCrash: with every worker dead there is no
+// budget story — callers must see ErrWorkerPanic so the driver
+// quarantines the goal instead of retrying a crashing configuration.
+func TestPortfolioAllWorkersCrash(t *testing.T) {
+	inst := pigeonholeCNF(6, 5)
+	pf := &Portfolio{
+		Workers: 3, ProbeConflicts: -1, Seed: 1,
+		Faults: mustFaults(t, "sat.worker.crash=always"),
+	}
+	st, err := pf.Solve(inst.solver(), Options{})
+	if st != Unknown || !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("got %v %v, want Unknown wrapping ErrWorkerPanic", st, err)
+	}
+}
+
+// TestSpuriousTimeoutFailpoint: the sat.spurious.timeout failpoint
+// turns a solvable query into an ErrBudget answer, the signal the
+// driver's retry ladder consumes.
+func TestSpuriousTimeoutFailpoint(t *testing.T) {
+	inst := planted3SATCNF(7, 30, 120)
+	s := inst.solver()
+	opts := Options{Faults: mustFaults(t, "sat.spurious.timeout=once")}
+	st, err := s.Solve(opts)
+	if st != Unknown || !errors.Is(err, ErrBudget) {
+		t.Fatalf("got %v %v, want Unknown ErrBudget", st, err)
+	}
+	// The failpoint was "once": the retry succeeds.
+	st, err = s.Solve(opts)
+	if err != nil || st != Sat {
+		t.Fatalf("retry got %v %v, want Sat <nil>", st, err)
+	}
+}
+
+// TestPortfolioNoGoroutineLeak: fan-outs — including ones whose workers
+// crash or lose the race — must not strand goroutines. wg.Wait in
+// fanOut is the structural guarantee; this is the regression tripwire.
+func TestPortfolioNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	inst := pigeonholeCNF(6, 5)
+	for round := 0; round < 8; round++ {
+		pf := &Portfolio{Workers: 4, ProbeConflicts: -1, Seed: int64(round)}
+		if round%2 == 1 {
+			pf.Faults = mustFaults(t, "sat.worker.crash=once")
+		}
+		if _, err := pf.Solve(inst.solver(), Options{}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return // settled (slack for runtime-internal goroutines)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d now vs %d at start", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
 	}
 }

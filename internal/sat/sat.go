@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"selgen/internal/failpoint"
 	"selgen/internal/obs"
 )
 
@@ -177,6 +178,10 @@ type Options struct {
 	// sat.propagations, sat.conflicts, sat.restarts counters) and the
 	// sat.solve.us latency histogram.
 	Obs *obs.Tracer
+	// Faults, when non-nil, arms this layer's failpoints
+	// (failpoint.SatSpuriousTimeout makes Solve report ErrBudget
+	// without searching). Nil-safe like Obs.
+	Faults *failpoint.Registry
 }
 
 // Stats holds cumulative solver statistics.
@@ -844,6 +849,11 @@ func (s *Solver) Solve(opts Options, assumptions ...Lit) (Status, error) {
 	}
 	if opts.Stop != nil && opts.Stop.Load() {
 		return Unknown, ErrCanceled
+	}
+	// Injected budget exhaustion: report the query as too hard without
+	// searching (exercises callers' timeout/abandonment paths).
+	if opts.Faults.Active(failpoint.SatSpuriousTimeout) {
+		return Unknown, ErrBudget
 	}
 	defer s.cancelUntil(0)
 

@@ -1,0 +1,84 @@
+package smt
+
+import (
+	"errors"
+	"testing"
+
+	"selgen/internal/bv"
+	"selgen/internal/failpoint"
+	"selgen/internal/obs"
+)
+
+func mustFaults(t *testing.T, spec string) *failpoint.Registry {
+	t.Helper()
+	reg, err := failpoint.Parse(spec, 1)
+	if err != nil {
+		t.Fatalf("failpoint.Parse(%q): %v", spec, err)
+	}
+	return reg
+}
+
+// TestCheckPanicBecomesErrInternal: a panic below Check must come back
+// as an ErrInternal-wrapped error — and the solver must stay usable,
+// because the SAT layer's deferred cleanup runs during unwinding.
+func TestCheckPanicBecomesErrInternal(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	tr := obs.New()
+	s.Obs = tr
+	s.Faults = mustFaults(t, "smt.check.panic=once")
+	x := b.Var("x", bv.BitVec(8))
+	s.Assert(b.Ult(x, b.Const(5, 8)))
+
+	res, err := s.Check(Options{})
+	if res != Unknown || !errors.Is(err, ErrInternal) {
+		t.Fatalf("got %v %v, want Unknown wrapping ErrInternal", res, err)
+	}
+	if got := tr.Metrics().CounterValue("smt.check_panics"); got != 1 {
+		t.Fatalf("check_panics = %d, want 1", got)
+	}
+
+	// Same solver, same assertions: the next Check answers normally.
+	res, err = s.Check(Options{})
+	if err != nil || res != Sat {
+		t.Fatalf("solver unusable after recovered panic: %v %v", res, err)
+	}
+	if v := s.ModelValue("x", bv.BitVec(8)); v >= 5 {
+		t.Fatalf("model x = %d violates x < 5", v)
+	}
+}
+
+// TestBlastDeadlineFailpoint: smt.blast.deadline reports budget
+// exhaustion before any search — the retryable classification.
+func TestBlastDeadlineFailpoint(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	s.Faults = mustFaults(t, "smt.blast.deadline=once")
+	s.Assert(b.Eq(b.Var("x", bv.BitVec(8)), b.Const(3, 8)))
+	res, err := s.Check(Options{})
+	if res != Unknown || !errors.Is(err, ErrBudget) {
+		t.Fatalf("got %v %v, want Unknown ErrBudget", res, err)
+	}
+	if res, err := s.Check(Options{}); err != nil || res != Sat {
+		t.Fatalf("retry got %v %v, want Sat <nil>", res, err)
+	}
+}
+
+// TestTryAssertMalformedTerm: asserting a non-boolean term is a
+// programming error Assert panics on; TryAssert must contain it.
+func TestTryAssertMalformedTerm(t *testing.T) {
+	b := bv.NewBuilder()
+	s := NewSolver(b)
+	err := s.TryAssert(b.Const(7, 8)) // a bitvector, not a boolean
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("TryAssert(bv8) = %v, want ErrInternal wrap", err)
+	}
+	// The solver survives: a well-formed assertion still works.
+	x := b.Var("x", bv.BitVec(8))
+	if err := s.TryAssert(b.Ult(x, b.Const(5, 8))); err != nil {
+		t.Fatalf("well-formed TryAssert failed: %v", err)
+	}
+	if res, err := s.Check(Options{}); err != nil || res != Sat {
+		t.Fatalf("got %v %v, want Sat <nil>", res, err)
+	}
+}

@@ -8,10 +8,12 @@ package smt
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"selgen/internal/bitblast"
 	"selgen/internal/bv"
+	"selgen/internal/failpoint"
 	"selgen/internal/obs"
 	"selgen/internal/sat"
 )
@@ -41,6 +43,14 @@ func (r Result) String() string {
 
 // ErrBudget is returned when the conflict or time budget is exhausted.
 var ErrBudget = errors.New("smt: budget exhausted")
+
+// ErrInternal wraps failures that are not budget stories: panics inside
+// Check or Blast (malformed terms, solver bugs, injected faults) and
+// non-budget errors from the SAT layer (e.g. crashed portfolio
+// workers). The panic → error conversion happens here, at the package
+// boundary, so callers — ultimately the driver's retry ladder — can
+// classify the failure (quarantine, not retry) instead of crashing.
+var ErrInternal = errors.New("smt: internal error")
 
 // Options bound a Check call. Zero value = unlimited.
 type Options struct {
@@ -121,6 +131,11 @@ type Solver struct {
 	// smt.check.us latency histogram, and is forwarded to the SAT
 	// search so per-solve effort deltas land in the same registry.
 	Obs *obs.Tracer
+
+	// Faults, when non-nil, arms this layer's failpoints
+	// (smt.blast.deadline, smt.check.panic) and is forwarded to the
+	// SAT search and portfolio. Nil-safe like Obs.
+	Faults *failpoint.Registry
 
 	Stats Stats
 }
@@ -216,11 +231,47 @@ func (s *Solver) Assert(t *bv.Term) {
 	s.s.AddClause(l)
 }
 
+// TryAssert is Assert with package-boundary panic conversion: a
+// malformed term (non-boolean assertion, sort mismatch discovered
+// during blasting, an op the blaster does not handle) surfaces as an
+// ErrInternal-wrapped error instead of a panic. Use it when the
+// asserted formula is dynamically constructed — e.g. from a candidate
+// pattern's synthesized semantics — and the caller wants to contain a
+// bad formula rather than crash the run. Assert remains the right call
+// for statically well-formed assertions, where a panic is a
+// programming error worth crashing on.
+func (s *Solver) TryAssert(t *bv.Term) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: assert: %v", ErrInternal, r)
+		}
+	}()
+	s.Assert(t)
+	return nil
+}
+
 // Check determines satisfiability of the asserted set under opts,
 // assuming every open frame's assertions.
-func (s *Solver) Check(opts Options) (Result, error) {
+//
+// A panic below this point (a malformed formula reaching the SAT
+// layer, a solver bug, or the smt.check.panic failpoint) is converted
+// into an ErrInternal-wrapped error rather than escaping to callers:
+// the SAT layer's deferred cleanup runs during unwinding, so the
+// solver is back at decision level 0 and remains usable.
+func (s *Solver) Check(opts Options) (res Result, err error) {
 	s.Stats.Checks++
 	s.Obs.Add("smt.checks", 1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.Obs.Add("smt.check_panics", 1)
+			res, err = Unknown, fmt.Errorf("%w: Check panicked: %v", ErrInternal, r)
+		}
+	}()
+	// Injected blast-time deadline: the caller's budget expired while
+	// the query was being built, before any search could start.
+	if s.Faults.Active(failpoint.SmtBlastDeadline) {
+		return Unknown, ErrBudget
+	}
 	// A non-positive timeout means the caller's deadline expired while
 	// the query was being built (blasting a fresh encoding can take
 	// longer than a short per-goal budget). Report budget exhaustion
@@ -229,21 +280,25 @@ func (s *Solver) Check(opts Options) (Result, error) {
 	if opts.Timeout < 0 {
 		return Unknown, ErrBudget
 	}
+	if s.Faults.Active(failpoint.SmtCheckPanic) {
+		panic("failpoint: injected smt check panic")
+	}
 	var so sat.Options
 	so.MaxConflicts = opts.MaxConflicts
 	so.Obs = s.Obs
+	so.Faults = s.Faults
 	if opts.Timeout > 0 {
 		so.Deadline = time.Now().Add(opts.Timeout)
 	}
 	start := time.Now()
 	var st sat.Status
-	var err error
 	if opts.PortfolioWorkers > 1 {
 		pf := &sat.Portfolio{
 			Workers:        opts.PortfolioWorkers,
 			ProbeConflicts: opts.PortfolioProbe,
 			Seed:           opts.PortfolioSeed,
 			Obs:            s.Obs,
+			Faults:         s.Faults,
 		}
 		st, err = pf.Solve(s.s, so, s.frames...)
 	} else {
@@ -261,7 +316,13 @@ func (s *Solver) Check(opts Options) (Result, error) {
 		return Unsat, nil
 	}
 	if err != nil {
-		return Unknown, ErrBudget
+		// Budget and cancellation keep their retryable classification;
+		// anything else (a crashed portfolio with no survivors) is an
+		// internal fault the caller should quarantine, not retry.
+		if errors.Is(err, sat.ErrBudget) || errors.Is(err, sat.ErrCanceled) {
+			return Unknown, ErrBudget
+		}
+		return Unknown, fmt.Errorf("%w: %v", ErrInternal, err)
 	}
 	return Unknown, nil
 }

@@ -12,10 +12,11 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 # Fail-fast race pass over the solver stack: the portfolio tests spawn
-# racing workers with a shared stop flag and clause exchange, so these
-# packages are where a data race would surface first (and they are
-# cheap compared to the full suite below).
-go test -race ./internal/sat ./internal/smt ./internal/driver
+# racing workers with a shared stop flag and clause exchange, and the
+# fault-injection tests panic inside those workers, so these packages
+# are where a data race would surface first (and they are cheap
+# compared to the full suite below).
+go test -race ./internal/sat ./internal/smt ./internal/cegis ./internal/driver
 # the driver tests synthesize libraries and run well past go test's
 # default 10m timeout under the race detector (their per-goal deadlines
 # scale up under race too; see internal/driver scaledTimeout)
@@ -31,3 +32,23 @@ trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/selgen -setup quick -timeout 2m -sat-workers 2 \
 	-o "$tmpdir/quick.json" -trace "$tmpdir/trace.json" >/dev/null
 go run scripts/validatetrace.go "$tmpdir/trace.json"
+
+# Kill-and-resume smoke test: SIGKILL selgen mid-run (the journal.kill
+# failpoint delivers an uncatchable kill right after the 2nd goal
+# record is fsync'd — deterministic, unlike timing an external kill -9
+# against a ~100ms run), then resume from the journal. The resumed
+# library must be byte-identical to an uninterrupted run's.
+go build -o "$tmpdir/selgen" ./cmd/selgen
+if "$tmpdir/selgen" -setup quick -timeout 2m -journal "$tmpdir/kill.journal" \
+	-o "$tmpdir/killed.json" -faults journal.kill=hit:2 >/dev/null 2>&1; then
+	echo "ci.sh: journal.kill failpoint did not kill the run" >&2
+	exit 1
+fi
+"$tmpdir/selgen" -setup quick -timeout 2m -resume "$tmpdir/kill.journal" \
+	-o "$tmpdir/resumed.json" >/dev/null
+"$tmpdir/selgen" -setup quick -timeout 2m \
+	-o "$tmpdir/uninterrupted.json" >/dev/null
+cmp "$tmpdir/resumed.json" "$tmpdir/uninterrupted.json" || {
+	echo "ci.sh: resumed library differs from the uninterrupted run" >&2
+	exit 1
+}
