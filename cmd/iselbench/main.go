@@ -9,8 +9,11 @@
 //
 //	iselbench                        # synthesize basic+full, then benchmark
 //	iselbench -basic b.json -full f.json
-//	iselbench -json                  # time incremental vs fresh CEGIS,
-//	                                 # write BENCH_cegis.json, and exit
+//	iselbench -json                  # time incremental vs fresh CEGIS, write
+//	                                 # BENCH_cegis.json + BENCH_isel.json, and exit
+//	iselbench -isel-json             # selection-scaling benchmark only,
+//	                                 # write BENCH_isel.json, and exit
+//	iselbench -trace t.json          # Chrome trace with isel.select spans
 package main
 
 import (
@@ -184,6 +187,29 @@ func runCEGISBench(width, satWorkers int, path string) error {
 	return nil
 }
 
+// writeIselBench runs the selection-scaling benchmark and writes
+// BENCH_isel.json.
+func writeIselBench(width int, seed int64, basicLib, fullLib *pattern.Library, reps int, path string) error {
+	b, err := driver.RunIselBench(width, seed, basicLib, fullLib, reps)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	b.Write(os.Stdout)
+	fmt.Printf("selection benchmark -> %s\n", path)
+	return nil
+}
+
 // synthFaults arms fault-injection points for the synthesis runs
 // loadOrSynthesize performs (nil unless -faults is given).
 var synthFaults *failpoint.Registry
@@ -219,7 +245,10 @@ func main() {
 		fullPath  = flag.String("full", "", "full rule library JSON (synthesized when empty)")
 		seed      = flag.Int64("seed", 99, "workload seed")
 		workers   = flag.Int("sat-workers", 1, "diversified SAT portfolio workers for hard verification queries (1 = sequential)")
-		jsonBench = flag.Bool("json", false, "benchmark incremental vs fresh CEGIS (and the SAT portfolio when -sat-workers > 1), write BENCH_cegis.json, and exit")
+		jsonBench = flag.Bool("json", false, "benchmark incremental vs fresh CEGIS (and the SAT portfolio when -sat-workers > 1), write BENCH_cegis.json and BENCH_isel.json, and exit")
+		iselJSON  = flag.Bool("isel-json", false, "run only the selection-scaling benchmark, write BENCH_isel.json, and exit")
+		iselReps  = flag.Int("isel-reps", 3, "selection benchmark repetitions per library (best-of)")
+		trace     = flag.String("trace", "", "write a Chrome trace_event JSON file of the Table 1 run (isel.select spans)")
 		faults    = flag.String("faults", "", "arm fault-injection points during library synthesis, e.g. 'sat.worker.crash=once' (testing only)")
 		fseed     = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection modes")
 	)
@@ -232,9 +261,23 @@ func main() {
 	}
 	synthFaults = reg
 
+	if *iselJSON {
+		// Scaling curve over the padded handwritten library only — no
+		// synthesis, so this is the fast path CI smoke-tests.
+		if err := writeIselBench(*width, *seed, nil, nil, *iselReps, "BENCH_isel.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "iselbench: isel bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *jsonBench {
 		if err := runCEGISBench(*width, *workers, "BENCH_cegis.json"); err != nil {
 			fmt.Fprintf(os.Stderr, "iselbench: cegis bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeIselBench(*width, *seed, nil, nil, *iselReps, "BENCH_isel.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "iselbench: isel bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -251,10 +294,36 @@ func main() {
 		os.Exit(1)
 	}
 
-	t, err := driver.RunTable1(*width, *seed, basicLib, fullLib)
+	tracer := obs.New()
+	if *trace != "" {
+		tracer.EnableTrace()
+	}
+	t, err := driver.RunTable1(*width, *seed, basicLib, fullLib, tracer)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)
 		os.Exit(1)
 	}
 	t.Write(os.Stdout)
+
+	if err := writeIselBench(*width, *seed, basicLib, fullLib, *iselReps, "BENCH_isel.json"); err != nil {
+		fmt.Fprintf(os.Stderr, "iselbench: isel bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(tf); err != nil {
+			fmt.Fprintf(os.Stderr, "iselbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tf.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "iselbench: trace with %d events written to %s\n", tracer.NumEvents(), *trace)
+	}
 }

@@ -35,6 +35,7 @@ func main() {
 		workers = flag.Int("sat-workers", 1, "diversified SAT portfolio workers for hard verification queries (1 = sequential)")
 		verbose = flag.Bool("v", false, "print per-goal progress")
 		trace   = flag.String("trace", "", "write a Chrome trace_event JSON file (view in chrome://tracing or Perfetto)")
+		check   = flag.Bool("check-selection", false, "after synthesis, select the synthetic Table 1 workload with the new library and report coverage and matching effort (isel.* spans land in -trace)")
 		jpath   = flag.String("journal", "", "write a crash-safe run journal (JSONL checkpoint) to this file")
 		resume  = flag.String("resume", "", "resume an interrupted run from this journal (implies -journal on the same file)")
 		faults  = flag.String("faults", "", "arm fault-injection points, e.g. 'sat.worker.crash=once,journal.kill=hit:2' (testing only)")
@@ -126,6 +127,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	var selRep *driver.SelectionReport
+	if *check {
+		selRep, err = driver.SelectionCheck(lib, *width, *seed, tracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *trace != "" {
 		tf, err := os.Create(*trace)
 		if err != nil {
@@ -158,5 +168,8 @@ func main() {
 	}
 
 	rep.WriteTable(os.Stdout)
+	if selRep != nil {
+		selRep.Write(os.Stdout)
+	}
 	fmt.Printf("\n%d rules written to %s in %s\n", len(lib.Rules), *out, time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,66 @@
+package driver
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"selgen/internal/ir"
+	"selgen/internal/isel"
+	"selgen/internal/obs"
+	"selgen/internal/pattern"
+	"selgen/internal/spec"
+	"selgen/internal/x86"
+)
+
+// SelectionReport is what SelectionCheck learned about a freshly
+// synthesized library: how much of the workload it covers and how much
+// matching effort the compiled selector spent.
+type SelectionReport struct {
+	Coverage isel.Coverage
+	Effort   SelEffort
+}
+
+// SelectionCheck compiles lib into a selector and selects the whole
+// synthetic Table 1 workload with it (fallback on). A non-nil tracer
+// receives the isel.* counters and per-graph selection spans, so a
+// `selgen -trace` run that passes its tracer here gets selection
+// alongside synthesis in the same timeline.
+func SelectionCheck(lib *pattern.Library, width int, seed int64, tr *obs.Tracer) (*SelectionReport, error) {
+	sel := isel.New(lib, x86.Registry(), true)
+	sel.Obs = tr
+	ops := ir.Ops()
+	rep := &SelectionReport{}
+	start := time.Now()
+	for _, prof := range spec.Profiles() {
+		for _, g := range spec.Generate(prof, width, ops, seed) {
+			_, cov, err := sel.Select(g)
+			if err != nil {
+				return nil, fmt.Errorf("driver: selection check: %s: %w", g.Name, err)
+			}
+			rep.Coverage.Add(cov)
+		}
+	}
+	rep.Effort = SelEffort{
+		Rules: sel.Compiled.NumRules(),
+		Stats: sel.Stats(),
+		Time:  time.Since(start),
+	}
+	return rep, nil
+}
+
+// Write renders a one-paragraph summary.
+func (r *SelectionReport) Write(w io.Writer) {
+	fmt.Fprintf(w, "selection check: %.2f%% coverage (%d covered, %d fallback of %d ops); %d rules compiled, %.2f rules tried/node, %.2f trie visits/node, %s\n",
+		100*r.Coverage.Ratio(), r.Coverage.Covered, r.Coverage.Fallback, r.Coverage.Total,
+		r.Effort.Rules, r.Effort.RulesTriedPerNode(),
+		float64(r.Effort.Stats.TrieVisits)/float64(max64(r.Effort.Stats.Nodes, 1)),
+		r.Effort.Time.Round(time.Millisecond))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -8,6 +8,7 @@ import (
 
 	"selgen/internal/ir"
 	"selgen/internal/isel"
+	"selgen/internal/obs"
 	"selgen/internal/pattern"
 	"selgen/internal/spec"
 	"selgen/internal/x86"
@@ -24,6 +25,26 @@ type Table1Row struct {
 	BasicRatio, FullRatio float64
 }
 
+// SelEffort summarizes one selector's matching effort across the whole
+// workload (the isel.* observability counters plus wall time).
+type SelEffort struct {
+	// Rules is the compiled (commutatively expanded) rule count.
+	Rules int
+	// Stats are the cumulative selection counters.
+	Stats isel.SelStats
+	// Time is total wall time spent inside Select.
+	Time time.Duration
+}
+
+// RulesTriedPerNode is the mean number of full match attempts per
+// selected graph node — the metric that must stay sublinear in Rules.
+func (e SelEffort) RulesTriedPerNode() float64 {
+	if e.Stats.Nodes == 0 {
+		return 0
+	}
+	return float64(e.Stats.RulesTried) / float64(e.Stats.Nodes)
+}
+
 // Table1 is the whole experiment result.
 type Table1 struct {
 	Rows []Table1Row
@@ -34,35 +55,43 @@ type Table1 struct {
 	// relative to the handwritten selector (the paper reports 1.66×
 	// for basic and 1217–1804× for its 60 000-rule full setup, §7.3).
 	CompileBasic, CompileFull float64
+	// Sel reports per-selector matching effort, keyed "hand", "basic",
+	// "full".
+	Sel map[string]SelEffort
 }
 
 // RunTable1 compiles every synthetic CINT2000 benchmark with the
 // handwritten selector and with prototype selectors generated from the
 // basic and full libraries, executes the selected code in the
 // cycle-cost simulator, verifies all three agree with the IR semantics,
-// and tallies runtimes.
-func RunTable1(width int, seed int64, basicLib, fullLib *pattern.Library) (*Table1, error) {
+// and tallies runtimes. A non-nil tracer receives isel.* counters and
+// per-graph selection spans.
+func RunTable1(width int, seed int64, basicLib, fullLib *pattern.Library, tr *obs.Tracer) (*Table1, error) {
 	goals := x86.Registry()
 	ops := ir.Ops()
 
+	// Selectors are built once: New compiles the library eagerly and
+	// Select is read-only, so one selector serves every profile (and
+	// selection time below measures matching, not library expansion).
 	type selEntry struct {
 		name string
 		sel  *isel.Selector
 	}
 	mkSel := func(lib *pattern.Library) *isel.Selector {
-		cp := &pattern.Library{Width: lib.Width, Rules: append([]pattern.Rule{}, lib.Rules...)}
-		return isel.New(cp, goals, true)
+		s := isel.New(lib, goals, true)
+		s.Obs = tr
+		return s
+	}
+	sels := []selEntry{
+		{"basic", mkSel(basicLib)},
+		{"full", mkSel(fullLib)},
+		{"hand", mkSel(isel.HandwrittenLibrary(width))},
 	}
 
 	t := &Table1{}
 	sumLogCov, sumLogBasic, sumLogFull := 0.0, 0.0, 0.0
 	selTime := map[string]time.Duration{}
 	for _, prof := range spec.Profiles() {
-		sels := []selEntry{
-			{"basic", mkSel(basicLib)},
-			{"full", mkSel(fullLib)},
-			{"hand", isel.New(isel.HandwrittenLibrary(width), goals, true)},
-		}
 		graphs := spec.Generate(prof, width, ops, seed)
 		cycles := map[string]float64{}
 		var fullCov isel.Coverage
@@ -117,6 +146,14 @@ func RunTable1(width int, seed int64, basicLib, fullLib *pattern.Library) (*Tabl
 		t.CompileBasic = float64(selTime["basic"]) / float64(hand)
 		t.CompileFull = float64(selTime["full"]) / float64(hand)
 	}
+	t.Sel = map[string]SelEffort{}
+	for _, se := range sels {
+		t.Sel[se.name] = SelEffort{
+			Rules: se.sel.Compiled.NumRules(),
+			Stats: se.sel.Stats(),
+			Time:  selTime[se.name],
+		}
+	}
 	return t, nil
 }
 
@@ -134,4 +171,14 @@ func (t *Table1) Write(w io.Writer) {
 		"Geom. Mean", 100*t.GeoMeanCoverage, "", "", "", 100*t.GeoMeanBasic, 100*t.GeoMeanFull)
 	fmt.Fprintf(w, "selection time vs handwritten: basic %.2fx, full %.2fx\n",
 		t.CompileBasic, t.CompileFull)
+	for _, name := range []string{"hand", "basic", "full"} {
+		e, ok := t.Sel[name]
+		if !ok || e.Stats.Nodes == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "selection effort %-5s: %5d rules, %.2f rules tried/node, %.2f trie visits/node, %d matches, %d fallbacks\n",
+			name, e.Rules, e.RulesTriedPerNode(),
+			float64(e.Stats.TrieVisits)/float64(e.Stats.Nodes),
+			e.Stats.Matches, e.Stats.Fallbacks)
+	}
 }

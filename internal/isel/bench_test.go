@@ -1,6 +1,7 @@
 package isel
 
 import (
+	"fmt"
 	"testing"
 
 	"selgen/internal/ir"
@@ -34,6 +35,43 @@ func BenchmarkSelectWorkload(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+}
+
+// benchSelectAtSize measures selection throughput with the handwritten
+// library padded (or truncated) to n rules, with either the indexed
+// matcher or the legacy linear scan.
+func benchSelectAtSize(b *testing.B, n int, linear bool) {
+	goals := x86.Registry()
+	prof, err := spec.ProfileByName("164.gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphs := spec.Generate(prof, 8, ir.Ops(), 7)
+	sel := New(PadLibrary(HandwrittenLibrary(8), 8, n), goals, true)
+	sel.Linear = linear
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			if _, _, err := sel.Select(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	st := sel.Stats()
+	if st.Nodes > 0 {
+		b.ReportMetric(float64(st.RulesTried)/float64(st.Nodes), "rules-tried/node")
+	}
+}
+
+// BenchmarkSelectLibrarySize tracks how per-node selection cost scales
+// with library size: the indexed matcher should stay flat while the
+// linear oracle grows with the rule count.
+func BenchmarkSelectLibrarySize(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("indexed/%d", n), func(b *testing.B) { benchSelectAtSize(b, n, false) })
+		b.Run(fmt.Sprintf("linear/%d", n), func(b *testing.B) { benchSelectAtSize(b, n, true) })
+	}
 }
 
 // BenchmarkExecuteSelected measures the cycle simulator.

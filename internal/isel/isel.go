@@ -4,6 +4,14 @@
 // plus the hand-tuned baseline library that stands in for libFirm's
 // handwritten x86 backend.
 //
+// The rule library is compiled once, in New, into an indexed form
+// (pattern.CompiledLibrary): a discrimination trie over pattern shapes
+// that retrieves, per graph node, only the rules whose shape prefix
+// matches the node's neighborhood — so per-node cost is near-
+// independent of library size instead of linear in it. The legacy
+// one-rule-at-a-time scan survives behind Selector.Linear as the
+// differential oracle.
+//
 // Selection is non-overlapping: a rule only matches when the pattern's
 // interior values have no users outside the match, mirroring the
 // prototype selector's restriction discussed in §7.3.
@@ -11,10 +19,12 @@ package isel
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"selgen/internal/firm"
 	"selgen/internal/ir"
 	"selgen/internal/mach"
+	"selgen/internal/obs"
 	"selgen/internal/pattern"
 	"selgen/internal/sem"
 )
@@ -45,29 +55,72 @@ func (c *Coverage) Add(o Coverage) {
 	c.Total += o.Total
 }
 
-// Selector translates firm graphs to machine programs using a rule
-// library and (optionally) a per-node fallback for uncovered nodes.
+// SelStats are cumulative selection-effort counters across a
+// Selector's lifetime (all Select calls, all goroutines).
+type SelStats struct {
+	// Nodes counts graph nodes that reached the rule-matching loop.
+	Nodes int64
+	// RulesTried counts full structural match attempts.
+	RulesTried int64
+	// TrieVisits counts shape-trie nodes visited during candidate
+	// retrieval (0 when Linear).
+	TrieVisits int64
+	// Matches counts nodes translated by a library rule; Fallbacks
+	// counts nodes handled by the per-node fallback.
+	Matches, Fallbacks int64
+}
+
+// Selector translates firm graphs to machine programs using a compiled
+// rule library and (optionally) a per-node fallback for uncovered
+// nodes. A Selector is immutable after New (aside from internal atomic
+// counters) and safe for concurrent Select calls.
 type Selector struct {
-	// Lib is the rule library, tried most-specific-first.
-	Lib *pattern.Library
+	// Compiled is the indexed rule library, built once in New.
+	Compiled *pattern.CompiledLibrary
 	// Goals resolves goal names to semantic models.
 	Goals map[string]*sem.Instr
 	// Fallback enables per-node translation of uncovered operations.
 	Fallback bool
-	// RulesTried counts match attempts (compile-time effort metric).
-	RulesTried int64
+	// Linear forces the legacy one-rule-at-a-time scan over the whole
+	// sorted library instead of the trie lookup; it is the differential
+	// oracle for the indexed matcher (see differential_test.go). Set it
+	// before the first Select.
+	Linear bool
+	// Obs, when non-nil, receives isel.* counters (rules tried, trie
+	// visits, matches, fallbacks) and a per-graph "isel.select" span.
+	// Set it before the first Select; a nil tracer disables
+	// instrumentation.
+	Obs *obs.Tracer
 
-	sorted bool
+	nodes, rulesTried, trieVisits, matches, fallbacks atomic.Int64
 }
 
-// New returns a selector over the given library and goal registry.
+// New returns a selector over the given library and goal registry. The
+// library is compiled (commutative expansion, specificity sort, shape
+// indexing) eagerly here; the caller's library is left untouched.
 func New(lib *pattern.Library, goals map[string]*sem.Instr, fallback bool) *Selector {
-	return &Selector{Lib: lib, Goals: goals, Fallback: fallback}
+	return &Selector{
+		Compiled: pattern.Compile(lib, goals),
+		Goals:    goals,
+		Fallback: fallback,
+	}
+}
+
+// Stats returns the Selector's cumulative selection-effort counters.
+func (s *Selector) Stats() SelStats {
+	return SelStats{
+		Nodes:      s.nodes.Load(),
+		RulesTried: s.rulesTried.Load(),
+		TrieVisits: s.trieVisits.Load(),
+		Matches:    s.matches.Load(),
+		Fallbacks:  s.fallbacks.Load(),
+	}
 }
 
 // match is one decided rule application.
 type match struct {
 	rule *pattern.Rule
+	goal *sem.Instr
 	// nodeMap maps pattern node index → graph node.
 	nodeMap []*firm.Node
 	// argBind maps pattern argument index → graph ref feeding it.
@@ -92,13 +145,25 @@ const (
 // Select translates one graph. Without fallback it fails when a live
 // node is uncovered by the rule library.
 func (s *Selector) Select(g *firm.Graph) (*mach.Program, Coverage, error) {
-	if !s.sorted {
-		// The database stores one orientation of each commutative
-		// pattern (§5.5 dedup); the syntactic matcher needs both.
-		s.Lib = s.Lib.ExpandCommutative()
-		s.Lib.SortBySpecificity()
-		s.sorted = true
-	}
+	var st SelStats
+	sp := s.Obs.Span(0, "isel.select", obs.Str("graph", g.Name))
+	defer func() {
+		s.nodes.Add(st.Nodes)
+		s.rulesTried.Add(st.RulesTried)
+		s.trieVisits.Add(st.TrieVisits)
+		s.matches.Add(st.Matches)
+		s.fallbacks.Add(st.Fallbacks)
+		if s.Obs != nil {
+			s.Obs.Add("isel.nodes", st.Nodes)
+			s.Obs.Add("isel.rules_tried", st.RulesTried)
+			s.Obs.Add("isel.trie_visits", st.TrieVisits)
+			s.Obs.Add("isel.matches", st.Matches)
+			s.Obs.Add("isel.fallbacks", st.Fallbacks)
+		}
+		sp.End(obs.Int("nodes", st.Nodes), obs.Int("rules_tried", st.RulesTried),
+			obs.Int("matches", st.Matches), obs.Int("fallbacks", st.Fallbacks))
+	}()
+
 	users := g.Users()
 	retained := make(map[firm.Ref]bool)
 	needed := make(map[*firm.Node]bool)
@@ -113,6 +178,11 @@ func (s *Selector) Select(g *firm.Graph) (*mach.Program, Coverage, error) {
 
 	needRef := func(r firm.Ref) { needed[r.Node] = true }
 
+	// Per-call scratch buffers (kept off the Selector so concurrent
+	// Select calls never share state).
+	var candBuf []int
+	var feederBuf []pattern.FeederShape
+
 	// Decision pass: roots first (reverse topological order). When we
 	// reach a node, every potential consumer has already recorded
 	// whether it needs this node's value.
@@ -124,15 +194,41 @@ func (s *Selector) Select(g *firm.Graph) (*mach.Program, Coverage, error) {
 		if !needed[n] {
 			continue // dead
 		}
+		st.Nodes++
 		var m *match
-		for ri := range s.Lib.Rules {
-			s.RulesTried++
-			if cand := s.tryMatch(g, &s.Lib.Rules[ri], n, users, retained, dec); cand != nil {
-				m = cand
-				break
+		if s.Linear {
+			for ri := 0; ri < s.Compiled.NumRules(); ri++ {
+				st.RulesTried++
+				if cand := s.tryMatch(g, s.Compiled.At(ri), n, users, retained, dec); cand != nil {
+					m = cand
+					break
+				}
+			}
+		} else {
+			feederBuf = feederBuf[:0]
+			for ai := range n.Args {
+				a := n.Args[ai]
+				feederBuf = append(feederBuf, pattern.FeederShape{
+					Op:        a.Op,
+					Result:    firm.ArgResult(g.Ops(), n, ai),
+					Internals: a.Internals,
+				})
+			}
+			var visits int
+			candBuf, visits = s.Compiled.Lookup(pattern.NodeShape{
+				Op: n.Op, Internals: n.Internals, Args: feederBuf,
+			}, candBuf[:0])
+			st.TrieVisits += int64(visits)
+			for _, ri := range candBuf {
+				st.RulesTried++
+				if cand := s.tryMatch(g, s.Compiled.At(ri), n, users, retained, dec); cand != nil {
+					m = cand
+					break
+				}
 			}
 		}
 		if m != nil {
+			st.Matches++
 			dec[n.ID] = decRoot
 			rooted[n.ID] = m
 			for pi, gn := range m.nodeMap {
@@ -150,6 +246,7 @@ func (s *Selector) Select(g *firm.Graph) (*mach.Program, Coverage, error) {
 			}
 			continue
 		}
+		st.Fallbacks++
 		dec[n.ID] = decFallback
 		for ai := range n.Args {
 			// Fallback encodes Const internals directly; other args are
@@ -211,38 +308,23 @@ func matchedRealNodes(m *match) int { return len(m.nodeMap) }
 
 // tryMatch attempts to match the rule's pattern with its primary
 // result rooted at graph node n. It returns nil on mismatch.
-func (s *Selector) tryMatch(g *firm.Graph, r *pattern.Rule, n *firm.Node,
+func (s *Selector) tryMatch(g *firm.Graph, cr *pattern.CompiledRule, n *firm.Node,
 	users map[*firm.Node][]*firm.Node, retained map[firm.Ref]bool, dec []decision) *match {
-	p := &r.Pattern
-	goal := s.Goals[r.Goal]
-	if goal == nil {
+	if cr.Root < 0 {
+		// Identity patterns, unknown goals, and patterns with nodes
+		// unreachable from the root never root a match.
 		return nil
 	}
+	p := &cr.Rule.Pattern
 	m := &match{
-		rule:    r,
+		rule:    &cr.Rule,
+		goal:    cr.Goal,
 		nodeMap: make([]*firm.Node, len(p.Nodes)),
 		argBind: make([]firm.Ref, len(p.ArgKinds)),
 		imms:    make(map[int]uint64),
 		root:    n,
 	}
 	bound := make([]bool, len(p.ArgKinds))
-
-	// The primary result is the last non-memory result; patterns whose
-	// only result is memory root at the memory-producing node.
-	primary := -1
-	for i := len(p.Results) - 1; i >= 0; i-- {
-		if goal.Results[i] != sem.KindMem {
-			primary = i
-			break
-		}
-	}
-	if primary == -1 {
-		primary = len(p.Results) - 1
-	}
-	root := p.Results[primary]
-	if root.Kind != pattern.RefNode {
-		return nil // identity patterns never root a match
-	}
 
 	var matchNode func(pi int, gn *firm.Node) bool
 	var matchRef func(pr pattern.ValueRef, gr firm.Ref, kind sem.Kind) bool
@@ -301,7 +383,7 @@ func (s *Selector) tryMatch(g *firm.Graph, r *pattern.Rule, n *firm.Node,
 		return matchNode(pr.Index, gr.Node)
 	}
 
-	if !matchNode(root.Index, n) {
+	if !matchNode(cr.Root, n) {
 		return nil
 	}
 	for pi := range p.Nodes {
@@ -371,7 +453,7 @@ func (s *Selector) tryMatch(g *firm.Graph, r *pattern.Rule, n *firm.Node,
 
 // emitMatch emits the machine instruction for a decided match.
 func (s *Selector) emitMatch(g *firm.Graph, prog *mach.Program, m *match, refVal map[firm.Ref]mach.Value) error {
-	goal := s.Goals[m.rule.Goal]
+	goal := m.goal
 	in := mach.Instr{Goal: goal, Imms: m.imms}
 	for ai := range m.rule.Pattern.ArgKinds {
 		if _, isImm := m.imms[ai]; isImm {

@@ -1,0 +1,48 @@
+package isel
+
+import (
+	"selgen/internal/pattern"
+	"selgen/internal/sem"
+)
+
+// padOps rotate as the root operation of synthetic padding rules so
+// every binop's trie subtree carries padding weight.
+var padOps = []string{"Add", "Sub", "Mul", "And", "Or", "Eor", "Shl", "Shr", "Shrs"}
+
+// PadLibrary returns a copy of lib resized to n rules for selection
+// benchmarking. When n is smaller than the library it truncates; when
+// larger it appends synthetic never-matching rules of the form
+// Op(a0, Const(c)) with c ≥ 2^width. Graph constants are always masked
+// to the word width, so such a Const sub-node cannot occur in any
+// graph: the padded library selects byte-identical programs to the
+// original while forcing a shape-blind scanner to consider (and
+// reject) every padding rule. The trie, by contrast, keys the padding
+// on its exact @Const token and never retrieves it — which is exactly
+// the size-scaling behavior the benchmark measures.
+func PadLibrary(lib *pattern.Library, width, n int) *pattern.Library {
+	out := &pattern.Library{Width: lib.Width}
+	rules := lib.Rules
+	if n < len(rules) {
+		rules = rules[:n]
+	}
+	out.Rules = append(out.Rules, rules...)
+	for i := 0; len(out.Rules) < n; i++ {
+		c := uint64(1)<<uint(width) + uint64(i)
+		out.Rules = append(out.Rules, pattern.Rule{
+			Goal:     "add",
+			GoalCost: 1,
+			Pattern: pattern.Pattern{
+				ArgKinds: []sem.Kind{sem.KindValue, sem.KindValue},
+				Nodes: []pattern.Node{
+					{Op: "Const", Internals: []uint64{c}},
+					{Op: padOps[i%len(padOps)], Args: []pattern.ValueRef{
+						{Kind: pattern.RefArg, Index: 0},
+						{Kind: pattern.RefNode, Index: 0},
+					}},
+				},
+				Results: []pattern.ValueRef{{Kind: pattern.RefNode, Index: 1}},
+			},
+		})
+	}
+	return out
+}

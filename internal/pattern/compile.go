@@ -1,0 +1,293 @@
+// Compiled matching: a compile-once indexed form of the rule library
+// for sublinear instruction selection (BURG-style tree-pattern
+// indexing; cf. §7.3's discussion of selection cost).
+//
+// The prototype selector originally tried every rule at every graph
+// node, so per-node cost scaled linearly with library size. Compile
+// canonicalizes each pattern to a bounded-depth shape — the root
+// operation, its internal attribute values, and one token per root
+// argument position describing what feeds it — and inserts the rule
+// into a discrimination trie keyed on that shape. Selection then walks
+// the trie with the graph node's own neighborhood shape and retrieves
+// only the rules whose shape prefix is compatible, in the exact
+// specificity order the linear scanner would have tried them.
+//
+// Argument-position tokens:
+//
+//	"*"            a pattern argument of any non-immediate kind
+//	               (matches every feeder)
+//	"#"            an immediate pattern argument (matches only Const
+//	               feeders)
+//	"@Op.r[ints]"  a pattern sub-node: operation Op, consumed result r,
+//	               exact internal values ints (matches only a feeder
+//	               node with identical op, result, and internals)
+//
+// The trie over-approximates: a retrieved rule may still fail the full
+// structural match (deeper levels, DAG sharing, the non-overlap rule),
+// but a rule it skips can never match — op, internals, result index,
+// and sub-node internals are all compared exactly by the matcher, and
+// immediate arguments only ever bind Const feeders. Lookup therefore
+// preserves the linear scanner's semantics while visiting only a
+// neighborhood-sized slice of the library.
+package pattern
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"selgen/internal/sem"
+)
+
+// Shape tokens for pattern-argument (wildcard) positions.
+const (
+	tokAny = "*"
+	tokImm = "#"
+)
+
+// internalsToken encodes a node's internal attribute values as one
+// trie-edge token ("" when the operation has no internals).
+func internalsToken(vals []uint64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatUint(v, 10))
+	}
+	return sb.String()
+}
+
+// feederToken encodes a concrete feeder — a pattern sub-node on the
+// insert side, a graph argument's producing node on the lookup side.
+func feederToken(op string, result int, internals []uint64) string {
+	var sb strings.Builder
+	sb.WriteByte('@')
+	sb.WriteString(op)
+	sb.WriteByte('.')
+	sb.WriteString(strconv.Itoa(result))
+	sb.WriteByte('[')
+	sb.WriteString(internalsToken(internals))
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// shapeNode is one discrimination-trie node. Levels are: root op →
+// root internals → one level per root argument position. Rule indexes
+// live at full depth, in ascending specificity-rank order.
+type shapeNode struct {
+	next  map[string]*shapeNode
+	rules []int
+}
+
+// CompiledRule is one rule of a CompiledLibrary: the expanded-
+// orientation rule plus everything the matcher needs precomputed.
+type CompiledRule struct {
+	// Rule is the rule in one concrete commutative orientation.
+	Rule Rule
+	// Goal is the resolved goal instruction (nil when the registry does
+	// not know the goal; such rules never match).
+	Goal *sem.Instr
+	// Root is the pattern node index the matcher roots at (the producer
+	// of the primary = last non-memory result). It is -1 when the rule
+	// can never root a match: unknown goal, an identity (argument)
+	// primary result, or pattern nodes unreachable from the root.
+	Root int
+}
+
+// CompiledLibrary is the selector-facing compiled form of a Library:
+// the commutatively expanded, specificity-sorted rules plus the shape
+// trie that indexes them. It is immutable after Compile and safe for
+// concurrent lookups from multiple goroutines.
+type CompiledLibrary struct {
+	width   int
+	rules   []CompiledRule
+	trie    *shapeNode
+	indexed int
+	maxSize int
+}
+
+// Compile canonicalizes and indexes a rule library: it expands
+// commutative orientations (the database stores one per §5.5; the
+// syntactic matcher needs both), sorts by the selector's specificity
+// ranking, resolves goals, and builds the shape trie. The input
+// library is not modified.
+func Compile(lib *Library, goals map[string]*sem.Instr) *CompiledLibrary {
+	ex := lib.ExpandCommutative()
+	ex.SortBySpecificity()
+	c := &CompiledLibrary{
+		width: ex.Width,
+		rules: make([]CompiledRule, len(ex.Rules)),
+		trie:  &shapeNode{next: make(map[string]*shapeNode)},
+	}
+	for i, r := range ex.Rules {
+		goal := goals[r.Goal]
+		c.rules[i] = CompiledRule{Rule: r, Goal: goal}
+		c.rules[i].Root = matchRoot(&c.rules[i].Rule.Pattern, goal)
+		if s := r.Pattern.Size(); s > c.maxSize {
+			c.maxSize = s
+		}
+		c.insert(i)
+	}
+	return c
+}
+
+// matchRoot computes the root pattern node the matcher anchors at, or
+// -1 when the rule is unmatchable (see CompiledRule.Root).
+func matchRoot(p *Pattern, goal *sem.Instr) int {
+	if goal == nil || len(p.Results) == 0 || len(p.Results) != len(goal.Results) {
+		return -1
+	}
+	// The primary result is the last non-memory result; patterns whose
+	// only result is memory root at the memory-producing node.
+	primary := -1
+	for i := len(p.Results) - 1; i >= 0; i-- {
+		if goal.Results[i] != sem.KindMem {
+			primary = i
+			break
+		}
+	}
+	if primary == -1 {
+		primary = len(p.Results) - 1
+	}
+	root := p.Results[primary]
+	if root.Kind != RefNode {
+		return -1 // identity patterns never root a match
+	}
+	// Every pattern node must be reachable from the root through
+	// argument references, or the matcher's all-nodes-mapped check
+	// fails unconditionally; drop such rules from the index.
+	reached := make([]bool, len(p.Nodes))
+	stack := []int{root.Index}
+	reached[root.Index] = true
+	n := 1
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range p.Nodes[ni].Args {
+			if a.Kind == RefNode && !reached[a.Index] {
+				reached[a.Index] = true
+				n++
+				stack = append(stack, a.Index)
+			}
+		}
+	}
+	if n != len(p.Nodes) {
+		return -1
+	}
+	return root.Index
+}
+
+// insert adds rule ri to the trie under its shape tokens.
+func (c *CompiledLibrary) insert(ri int) {
+	cr := &c.rules[ri]
+	if cr.Root < 0 {
+		return
+	}
+	p := &cr.Rule.Pattern
+	rn := &p.Nodes[cr.Root]
+	node := c.step(c.trie, rn.Op)
+	node = c.step(node, internalsToken(rn.Internals))
+	for _, a := range rn.Args {
+		switch {
+		case a.Kind == RefArg && p.ArgKinds[a.Index] == sem.KindImm:
+			node = c.step(node, tokImm)
+		case a.Kind == RefArg:
+			node = c.step(node, tokAny)
+		default:
+			sn := &p.Nodes[a.Index]
+			node = c.step(node, feederToken(sn.Op, a.Result, sn.Internals))
+		}
+	}
+	node.rules = append(node.rules, ri)
+	c.indexed++
+}
+
+func (c *CompiledLibrary) step(n *shapeNode, tok string) *shapeNode {
+	child := n.next[tok]
+	if child == nil {
+		child = &shapeNode{next: make(map[string]*shapeNode)}
+		n.next[tok] = child
+	}
+	return child
+}
+
+// FeederShape describes what produces one argument of a graph node:
+// the producing node's op, the consumed result index, and the
+// producing node's internal values.
+type FeederShape struct {
+	Op        string
+	Result    int
+	Internals []uint64
+}
+
+// NodeShape is a graph node's neighborhood as the trie sees it.
+type NodeShape struct {
+	Op        string
+	Internals []uint64
+	Args      []FeederShape
+}
+
+// Lookup appends to buf the indexes of every indexed rule whose shape
+// is compatible with the node neighborhood, in ascending specificity
+// rank (the order the linear scanner tries rules), and reports how
+// many trie nodes were visited. Rules outside the result can never
+// match the node; rules inside still need the full structural match.
+func (c *CompiledLibrary) Lookup(ns NodeShape, buf []int) ([]int, int) {
+	visits := 1
+	node := c.trie.next[ns.Op]
+	if node == nil {
+		return buf, visits
+	}
+	visits++
+	node = node.next[internalsToken(ns.Internals)]
+	if node == nil {
+		return buf, visits
+	}
+	start := len(buf)
+	var walk func(n *shapeNode, depth int)
+	walk = func(n *shapeNode, depth int) {
+		visits++
+		if depth == len(ns.Args) {
+			buf = append(buf, n.rules...)
+			return
+		}
+		f := &ns.Args[depth]
+		if ch := n.next[tokAny]; ch != nil {
+			walk(ch, depth+1)
+		}
+		if f.Op == "Const" {
+			if ch := n.next[tokImm]; ch != nil {
+				walk(ch, depth+1)
+			}
+		}
+		if ch := n.next[feederToken(f.Op, f.Result, f.Internals)]; ch != nil {
+			walk(ch, depth+1)
+		}
+	}
+	walk(node, 0)
+	// Each rule has exactly one shape path, and distinct explored paths
+	// are distinct token sequences, so no rule appears twice; merging
+	// the (individually ascending) leaf lists is a plain sort.
+	sort.Ints(buf[start:])
+	return buf, visits
+}
+
+// Width returns the word width the library was compiled at.
+func (c *CompiledLibrary) Width() int { return c.width }
+
+// NumRules returns the number of compiled (expanded, sorted) rules.
+func (c *CompiledLibrary) NumRules() int { return len(c.rules) }
+
+// At returns compiled rule i (rank order = try order).
+func (c *CompiledLibrary) At(i int) *CompiledRule { return &c.rules[i] }
+
+// IndexedRules returns how many rules the trie indexes (matchable
+// rules; the rest have Root < 0 and can never root a match).
+func (c *CompiledLibrary) IndexedRules() int { return c.indexed }
+
+// MaxPatternSize returns the largest pattern size among the rules.
+func (c *CompiledLibrary) MaxPatternSize() int { return c.maxSize }

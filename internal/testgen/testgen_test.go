@@ -183,9 +183,10 @@ func TestRunDeduplicates(t *testing.T) {
 func TestRegistryCoversComparatorGoals(t *testing.T) {
 	goals := x86.Registry()
 	for _, c := range Comparators(w) {
-		for _, r := range c.Sel.Lib.Rules {
-			if goals[r.Goal] == nil {
-				t.Fatalf("%s library references unknown goal %q", c.Name, r.Goal)
+		for i := 0; i < c.Sel.Compiled.NumRules(); i++ {
+			r := c.Sel.Compiled.At(i)
+			if goals[r.Rule.Goal] == nil {
+				t.Fatalf("%s library references unknown goal %q", c.Name, r.Rule.Goal)
 			}
 		}
 	}

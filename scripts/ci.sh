@@ -11,16 +11,30 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-# Fail-fast race pass over the solver stack: the portfolio tests spawn
-# racing workers with a shared stop flag and clause exchange, and the
-# fault-injection tests panic inside those workers, so these packages
-# are where a data race would surface first (and they are cheap
-# compared to the full suite below).
-go test -race ./internal/sat ./internal/smt ./internal/cegis ./internal/driver
+# Fail-fast race pass over the solver stack and the selector: the
+# portfolio tests spawn racing workers with a shared stop flag and
+# clause exchange, the fault-injection tests panic inside those
+# workers, and the isel tests drive one compiled Selector from several
+# goroutines — so these packages are where a data race would surface
+# first. The driver's synthesis tests run well past go test's default
+# 10m timeout under the race detector, so this pass needs the same
+# widened timeout as the full suite below.
+go test -race -timeout 60m ./internal/sat ./internal/smt ./internal/cegis ./internal/driver \
+	./internal/isel ./internal/pattern
 # the driver tests synthesize libraries and run well past go test's
 # default 10m timeout under the race detector (their per-goal deadlines
 # scale up under race too; see internal/driver scaledTimeout)
 go test -race -timeout 60m "$@" ./...
+
+# Selection benchmark smoke: one iteration of the library-size scaling
+# benchmark must run clean, and a single-rep BENCH_isel.json must parse
+# and show the indexed matcher sublinear in library size.
+go test -run '^$' -bench SelectLibrarySize -benchtime 1x ./internal/isel
+benchdir="$(mktemp -d)"
+trap 'rm -rf "$benchdir"' EXIT # replaced below once tmpdir exists
+go build -o "$benchdir/iselbench" ./cmd/iselbench
+(cd "$benchdir" && ./iselbench -isel-json -isel-reps 1 >/dev/null)
+go run scripts/validateiselbench.go "$benchdir/BENCH_isel.json"
 
 # -trace smoke test: a quick-setup run must emit a well-formed Chrome
 # trace (parses, has goal/multiset/synth/verify spans, spans nest).
@@ -28,7 +42,7 @@ go test -race -timeout 60m "$@" ./...
 # sat.portfolio.worker spans land on their own trace TIDs and must
 # still nest cleanly.
 tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
+trap 'rm -rf "$tmpdir" "$benchdir"' EXIT
 go run ./cmd/selgen -setup quick -timeout 2m -sat-workers 2 \
 	-o "$tmpdir/quick.json" -trace "$tmpdir/trace.json" >/dev/null
 go run scripts/validatetrace.go "$tmpdir/trace.json"

@@ -1,0 +1,89 @@
+//go:build ignore
+
+// validateiselbench checks that a BENCH_isel.json emitted by
+// `iselbench -isel-json` (or the full Table 1 run) is well-formed: it
+// parses, carries the scaling-curve points, every point has positive
+// timings, and the indexed matcher's per-node match attempts stay
+// sublinear while the linear oracle's grow with the library. CI runs
+// it against a fresh single-rep benchmark (see scripts/ci.sh):
+//
+//	go run scripts/validateiselbench.go BENCH_isel.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type point struct {
+	Name               string  `json:"name"`
+	Rules              int     `json:"rules"`
+	CompiledRules      int     `json:"compiledRules"`
+	NsPerNode          float64 `json:"nsPerNode"`
+	RulesPerNode       float64 `json:"rulesPerNode"`
+	TrieVisitsPerNode  float64 `json:"trieVisitsPerNode"`
+	LinearNsPerNode    float64 `json:"linearNsPerNode"`
+	LinearRulesPerNode float64 `json:"linearRulesPerNode"`
+	VsHandwritten      float64 `json:"vsHandwritten"`
+}
+
+type doc struct {
+	Width         int     `json:"width"`
+	Workload      string  `json:"workload"`
+	Graphs        int     `json:"graphs"`
+	Nodes         int64   `json:"nodes"`
+	HandNsPerNode float64 `json:"handNsPerNode"`
+	Points        []point `json:"points"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "validateiselbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: validateiselbench BENCH_isel.json")
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		fail("parse: %v", err)
+	}
+	if d.Nodes <= 0 || d.Graphs <= 0 || d.HandNsPerNode <= 0 {
+		fail("empty workload: %+v", d)
+	}
+	if len(d.Points) < 3 {
+		fail("want at least the 10/100/1000 scaling points, got %d", len(d.Points))
+	}
+	byName := map[string]point{}
+	for _, p := range d.Points {
+		if p.NsPerNode <= 0 || p.LinearNsPerNode <= 0 || p.VsHandwritten <= 0 {
+			fail("%s: non-positive timing: %+v", p.Name, p)
+		}
+		if p.CompiledRules < p.Rules {
+			fail("%s: commutative expansion cannot shrink the library (%d -> %d)",
+				p.Name, p.Rules, p.CompiledRules)
+		}
+		byName[p.Name] = p
+	}
+	p100, ok100 := byName["hand+pad:100"]
+	p1000, ok1000 := byName["hand+pad:1000"]
+	if !ok100 || !ok1000 {
+		fail("missing hand+pad:100 / hand+pad:1000 points")
+	}
+	if p1000.RulesPerNode > 2*p100.RulesPerNode+1 {
+		fail("indexed matcher is not sublinear: %.2f rules/node at 100 rules, %.2f at 1000",
+			p100.RulesPerNode, p1000.RulesPerNode)
+	}
+	if p1000.LinearRulesPerNode < 10*p1000.RulesPerNode {
+		fail("linear oracle shows no growth at 1000 rules (%.2f vs indexed %.2f) — padding broken?",
+			p1000.LinearRulesPerNode, p1000.RulesPerNode)
+	}
+	fmt.Printf("validateiselbench: ok (%d points; indexed %.2f rules/node at 1000 rules vs linear %.2f)\n",
+		len(d.Points), p1000.RulesPerNode, p1000.LinearRulesPerNode)
+}
