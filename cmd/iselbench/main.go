@@ -68,6 +68,20 @@ func phaseOf(reg *obs.Registry, kind string) cegisBenchPhase {
 	return p
 }
 
+// cegisBenchCost compares the quickstart library synthesized
+// cost-aware against the exhaustive ablation: the shrink is gated in
+// CI (cost-aware must cover the same goals with fewer rules), not
+// anecdotal.
+type cegisBenchCost struct {
+	CostAwareRules     int     `json:"cost_aware_rules"`
+	ExhaustiveRules    int     `json:"exhaustive_rules"`
+	CostAwareGoals     int     `json:"cost_aware_goals"`
+	ExhaustiveGoals    int     `json:"exhaustive_goals"`
+	MeanRuleCost       float64 `json:"mean_rule_cost"`
+	DominatedMultisets int64   `json:"dominated_multisets"`
+	RulesDominated     int     `json:"rules_dominated"`
+}
+
 // cegisBench is the BENCH_cegis.json document.
 type cegisBench struct {
 	Width            int              `json:"width"`
@@ -81,6 +95,7 @@ type cegisBench struct {
 	PortfolioMS      float64          `json:"portfolio_ms,omitempty"`
 	Speedup          float64          `json:"speedup"`
 	PortfolioSpeedup float64          `json:"portfolio_speedup,omitempty"`
+	Cost             cegisBenchCost   `json:"cost"`
 }
 
 // runCEGISBench times the incremental pipeline against the
@@ -163,6 +178,35 @@ func runCEGISBench(width, satWorkers int, path string) error {
 	if out.PortfolioMS > 0 {
 		out.PortfolioSpeedup = out.IncrementalMS / out.PortfolioMS
 	}
+
+	// Library-shrink comparison: the same quickstart set synthesized
+	// end-to-end cost-aware and exhaustively.
+	runLib := func(disable bool) (*pattern.Library, *driver.Report, error) {
+		return driver.Run(driver.QuickSetup(), driver.Options{
+			Width: width, Seed: 1,
+			MaxPatternsPerGoal: 48,
+			PerGoalTimeout:     2 * time.Minute,
+			DisableCostAware:   disable,
+		})
+	}
+	caLib, caRep, err := runLib(false)
+	if err != nil {
+		return fmt.Errorf("cost-aware quickstart: %w", err)
+	}
+	exLib, _, err := runLib(true)
+	if err != nil {
+		return fmt.Errorf("exhaustive quickstart: %w", err)
+	}
+	out.Cost = cegisBenchCost{
+		CostAwareRules:     len(caLib.Rules),
+		ExhaustiveRules:    len(exLib.Rules),
+		CostAwareGoals:     len(caLib.Goals()),
+		ExhaustiveGoals:    len(exLib.Goals()),
+		MeanRuleCost:       caRep.MeanRuleCost,
+		DominatedMultisets: caRep.Metrics.CounterValue("cegis.cost.multisets_dominated"),
+		RulesDominated:     caRep.RulesDominated,
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -180,10 +224,13 @@ func runCEGISBench(width, satWorkers int, path string) error {
 		fmt.Printf("incremental %.0fms vs fresh %.0fms (%.2fx); portfolio(%d) %.0fms (%.2fx vs incremental) -> %s\n",
 			out.IncrementalMS, out.FreshMS, out.Speedup,
 			out.SatWorkers, out.PortfolioMS, out.PortfolioSpeedup, path)
-		return nil
+	} else {
+		fmt.Printf("incremental %.0fms vs fresh %.0fms (%.2fx) -> %s\n",
+			out.IncrementalMS, out.FreshMS, out.Speedup, path)
 	}
-	fmt.Printf("incremental %.0fms vs fresh %.0fms (%.2fx) -> %s\n",
-		out.IncrementalMS, out.FreshMS, out.Speedup, path)
+	fmt.Printf("cost-aware quickstart library: %d rules (mean cost %.2f) vs exhaustive %d rules; %d multisets dominated\n",
+		out.Cost.CostAwareRules, out.Cost.MeanRuleCost,
+		out.Cost.ExhaustiveRules, out.Cost.DominatedMultisets)
 	return nil
 }
 
@@ -214,6 +261,10 @@ func writeIselBench(width int, seed int64, basicLib, fullLib *pattern.Library, r
 // loadOrSynthesize performs (nil unless -faults is given).
 var synthFaults *failpoint.Registry
 
+// synthDisableCostAware switches the synthesis runs loadOrSynthesize
+// performs to the exhaustive size-major ablation (-cost-aware=false).
+var synthDisableCostAware bool
+
 func loadOrSynthesize(path, what string, groups []driver.Group, width, satWorkers int) (*pattern.Library, error) {
 	if path != "" {
 		f, err := os.Open(path)
@@ -231,6 +282,7 @@ func loadOrSynthesize(path, what string, groups []driver.Group, width, satWorker
 		Seed:               1,
 		SatWorkers:         satWorkers,
 		Faults:             synthFaults,
+		DisableCostAware:   synthDisableCostAware,
 	})
 	if err == nil {
 		rep.WriteTable(os.Stderr)
@@ -251,6 +303,7 @@ func main() {
 		trace     = flag.String("trace", "", "write a Chrome trace_event JSON file of the Table 1 run (isel.select spans)")
 		faults    = flag.String("faults", "", "arm fault-injection points during library synthesis, e.g. 'sat.worker.crash=once' (testing only)")
 		fseed     = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection modes")
+		costAware = flag.Bool("cost-aware", true, "synthesize libraries with cost-ordered enumeration and dominance pruning (false = exhaustive size-major ablation)")
 	)
 	flag.Parse()
 
@@ -260,6 +313,7 @@ func main() {
 		os.Exit(2)
 	}
 	synthFaults = reg
+	synthDisableCostAware = !*costAware
 
 	if *iselJSON {
 		// Scaling curve over the padded handwritten library only — no

@@ -40,7 +40,8 @@ func main() {
 		resume  = flag.String("resume", "", "resume an interrupted run from this journal (implies -journal on the same file)")
 		faults  = flag.String("faults", "", "arm fault-injection points, e.g. 'sat.worker.crash=once,journal.kill=hit:2' (testing only)")
 		fseed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection modes")
-		retries = flag.Int("max-retries", 0, "retry-ladder depth for budget failures (0 = default, negative = single attempt, non-deadline errors fatal)")
+		retries   = flag.Int("max-retries", 0, "retry-ladder depth for budget failures (0 = default, negative = single attempt, non-deadline errors fatal)")
+		costAware = flag.Bool("cost-aware", true, "enumerate multisets in ascending cycle cost and prune dominated rules (false = exhaustive size-major ablation)")
 	)
 	flag.Parse()
 
@@ -79,6 +80,7 @@ func main() {
 		Obs:                tracer,
 		MaxRetries:         *retries,
 		Faults:             reg,
+		DisableCostAware:   !*costAware,
 	}
 	if *verbose {
 		opts.Progress = os.Stderr

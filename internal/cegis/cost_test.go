@@ -1,0 +1,196 @@
+package cegis
+
+import (
+	"testing"
+
+	"selgen/internal/ir"
+	"selgen/internal/obs"
+	"selgen/internal/sem"
+	"selgen/internal/x86"
+)
+
+// opsNamed plucks a restricted op set out of the full IR registry.
+func opsNamed(t *testing.T, names ...string) []*sem.Instr {
+	t.Helper()
+	all := ir.Ops()
+	var out []*sem.Instr
+	for _, n := range names {
+		op := ir.ByName(all, n)
+		if op == nil {
+			t.Fatalf("unknown IR op %q", n)
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// TestMultisetsByCostOrdering: the enumeration walks multisets in
+// non-decreasing cycle cost with sizes ascending inside equal cost, so
+// {Mul} (3 cycles) comes after every 2-cycle pair.
+func TestMultisetsByCostOrdering(t *testing.T) {
+	e := New(opsNamed(t, "Add", "Mul", "Const"), Config{Width: 8, MaxLen: 2, Seed: 1})
+	ms := e.multisetsByCost(nil)
+	if len(ms) == 0 {
+		t.Fatalf("empty enumeration")
+	}
+	for i := range ms {
+		if got := MultisetCost(ms[i].comps); got != ms[i].cost {
+			t.Fatalf("multiset %d: cached cost %d != MultisetCost %d", i, ms[i].cost, got)
+		}
+		if i > 0 {
+			prev := ms[i-1]
+			if ms[i].cost < prev.cost || (ms[i].cost == prev.cost && ms[i].size < prev.size) {
+				t.Fatalf("enumeration not (cost, size)-ordered at %d: (%d,%d) after (%d,%d)",
+					i, ms[i].cost, ms[i].size, prev.cost, prev.size)
+			}
+		}
+	}
+	// {Mul} is the only singleton costing 3; both 2-element all-cheap
+	// multisets cost 2 and must precede it.
+	pos := func(names ...string) int {
+		for i, m := range ms {
+			if containsMultiset(m.comps, opsNamed(t, names...)) && len(m.comps) == len(names) {
+				return i
+			}
+		}
+		t.Fatalf("multiset %v not enumerated", names)
+		return -1
+	}
+	if pos("Mul") < pos("Add", "Const") {
+		t.Fatalf("3-cycle {Mul} enumerated before 2-cycle {Add, Const}")
+	}
+}
+
+func TestContainsMultiset(t *testing.T) {
+	add2 := opsNamed(t, "Add", "Add", "Const")
+	if !containsMultiset(add2, opsNamed(t, "Add", "Const")) {
+		t.Fatalf("sub-multiset not detected")
+	}
+	if !containsMultiset(add2, nil) {
+		t.Fatalf("empty multiset is contained in everything")
+	}
+	if containsMultiset(opsNamed(t, "Add", "Const"), add2) {
+		t.Fatalf("multiplicity ignored: {Add,Const} cannot contain {Add,Add,Const}")
+	}
+	if containsMultiset(add2, opsNamed(t, "Mul")) {
+		t.Fatalf("foreign op reported as contained")
+	}
+}
+
+// TestDominanceSkipsSupersets: once {Add} yields a rule for the add
+// goal, the costlier supersets {Add,Add} and {Add,Const} are dominated
+// — any pattern over them spends the found rule's cycle plus extras —
+// and the all-sizes sweep must skip them and say so in the counters.
+func TestDominanceSkipsSupersets(t *testing.T) {
+	tr := obs.New()
+	e := New(opsNamed(t, "Add", "Const"), Config{Width: 8, MaxLen: 2, Seed: 1, Obs: tr})
+	res, err := e.SynthesizeAllSizes(x86.AddInstr())
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	if len(res.Patterns) == 0 || res.MinLen != 1 {
+		t.Fatalf("add goal: ℓ=%d with %d patterns", res.MinLen, len(res.Patterns))
+	}
+	if e.Stats.DominatedMultisets == 0 {
+		t.Fatalf("no multisets reported dominated")
+	}
+	if got := tr.Metrics().CounterValue("cegis.cost.multisets_dominated"); got != e.Stats.DominatedMultisets {
+		t.Fatalf("obs counter %d disagrees with Stats.DominatedMultisets %d", got, e.Stats.DominatedMultisets)
+	}
+	if h := tr.Metrics().HistogramNamed("cegis.cost.rule_cost"); h == nil || h.Count() == 0 {
+		t.Fatalf("emitted rules did not record their multiset cost")
+	}
+	for _, p := range res.Patterns {
+		for _, n := range p.Nodes {
+			if n.Op != "Add" {
+				t.Fatalf("dominated multiset leaked a pattern with %s: %s", n.Op, p.String())
+			}
+		}
+	}
+}
+
+// TestCostOrderedAvoidsExpensiveEquivalents is the heart of the
+// cost-aware mode: 2x is expressible as Shl(x, Const 1) (2 cycles)
+// and Mul(x, Const 2) (4 cycles), both of size 2. Size-major
+// enumeration emits both; cost-ordered minimal synthesis finishes the
+// 2-cycle band and never reaches the Mul multiset.
+func TestCostOrderedAvoidsExpensiveEquivalents(t *testing.T) {
+	ops := opsNamed(t, "Shl", "Mul", "Const")
+	goal := doubleGoal()
+
+	hasMul := func(res *Result) bool {
+		for _, p := range res.Patterns {
+			for _, n := range p.Nodes {
+				if n.Op == "Mul" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	ca := New(ops, Config{Width: 8, MaxLen: 2, Seed: 1})
+	caRes, err := ca.Synthesize(goal)
+	if err != nil {
+		t.Fatalf("cost-aware: %v", err)
+	}
+	legacy := New(ops, Config{Width: 8, MaxLen: 2, Seed: 1, DisableCostAware: true})
+	legacyRes, err := legacy.Synthesize(goal)
+	if err != nil {
+		t.Fatalf("legacy: %v", err)
+	}
+
+	if caRes.MinLen != 2 || legacyRes.MinLen != 2 {
+		t.Fatalf("both modes must find ℓ=2: cost-aware %d, legacy %d", caRes.MinLen, legacyRes.MinLen)
+	}
+	if !hasMul(legacyRes) {
+		t.Fatalf("size-major ablation should emit the 4-cycle Mul(x, Const 2) alternative")
+	}
+	if hasMul(caRes) {
+		t.Fatalf("cost-ordered minimal synthesis emitted a Mul pattern beyond the cheapest band")
+	}
+	if len(caRes.Patterns) == 0 {
+		t.Fatalf("cost-aware found nothing")
+	}
+	for _, p := range caRes.Patterns {
+		if got := p.CycleCost(ops); got != 2 {
+			t.Fatalf("cost-aware pattern %s costs %d cycles, want the cheapest band 2", p.String(), got)
+		}
+	}
+}
+
+// TestCostAwareMatchesLegacyOnUniformGoal: where every usable op costs
+// 1 cycle, cost order coincides with size order and the two modes must
+// synthesize identical pattern sets.
+func TestCostAwareMatchesLegacyOnUniformGoal(t *testing.T) {
+	goal := x86.Andn()
+	canonSet := func(res *Result) map[string]bool {
+		set := make(map[string]bool)
+		for _, p := range res.Patterns {
+			set[p.Canon()] = true
+		}
+		return set
+	}
+	ca := New(ir.Ops(), Config{Width: 8, MaxLen: 2, Seed: 1})
+	caRes, err := ca.Synthesize(goal)
+	if err != nil {
+		t.Fatalf("cost-aware: %v", err)
+	}
+	legacy := New(ir.Ops(), Config{Width: 8, MaxLen: 2, Seed: 1, DisableCostAware: true})
+	legacyRes, err := legacy.Synthesize(goal)
+	if err != nil {
+		t.Fatalf("legacy: %v", err)
+	}
+	if caRes.MinLen != legacyRes.MinLen {
+		t.Fatalf("MinLen diverges: cost-aware %d, legacy %d", caRes.MinLen, legacyRes.MinLen)
+	}
+	a, b := canonSet(caRes), canonSet(legacyRes)
+	if len(a) != len(b) {
+		t.Fatalf("pattern sets diverge: %d vs %d", len(a), len(b))
+	}
+	for c := range a {
+		if !b[c] {
+			t.Fatalf("cost-aware pattern missing from legacy set: %s", c)
+		}
+	}
+}

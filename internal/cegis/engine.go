@@ -83,6 +83,14 @@ type Config struct {
 	// builder/blaster/solver per multiset and per verification query, no
 	// counterexample carry-forward) — the incremental-solving ablation.
 	DisableIncremental bool
+	// DisableCostAware reverts multiset enumeration to the legacy
+	// size-major order and turns the dominance filter off (the
+	// cost-awareness ablation). By default multisets are enumerated in
+	// ascending total cycle cost (sum of CostOrDefault over the
+	// components) and, once a goal has a correct rule, later multisets
+	// that cost at least as much and contain the rule's component
+	// multiset are skipped as dominated.
+	DisableCostAware bool
 	// Obs, when non-nil, receives spans (per goal, multiset, and
 	// synthesis/verification query) and counter/histogram metrics that
 	// subsume the Stats totals. Nil disables all instrumentation.
@@ -138,6 +146,10 @@ type Stats struct {
 	// evaluation against the counterexample cache before any SMT
 	// verification query.
 	PrefilterKills int64
+	// DominatedMultisets counts multisets skipped by the cost-aware
+	// dominance filter (cost ≥ an already-found rule's cost and
+	// component-superset of it).
+	DominatedMultisets int64
 	// Patterns counts valid patterns found.
 	Patterns int64
 }
@@ -532,18 +544,32 @@ type Result struct {
 }
 
 // Synthesize runs iterative CEGIS (Algorithm 2) for one goal: it
-// enumerates ℓ-multicombinations of the operation set for increasing ℓ
-// and returns all patterns of minimal size. A deadline abort is
-// reported as an error wrapping ErrDeadline (classify with errors.Is).
+// enumerates component multisets in ascending total cycle cost
+// (size-major under Config.DisableCostAware) and returns all patterns
+// of the first successful cost band (the minimal size level under the
+// ablation). A deadline abort is reported as an error wrapping
+// ErrDeadline (classify with errors.Is).
 func (e *Engine) Synthesize(goal *sem.Instr) (*Result, error) {
-	return e.runGoal(goal, "minimal", e.synthesizeMinimal)
+	if e.cfg.DisableCostAware {
+		return e.runGoal(goal, "minimal", e.synthesizeMinimal)
+	}
+	return e.runGoal(goal, "minimal", func(g *sem.Instr) (*Result, error) {
+		return e.synthesizeCostOrdered(g, false)
+	})
 }
 
-// SynthesizeAllSizes is like Synthesize but keeps enumerating larger
-// multisets up to MaxLen instead of stopping at the minimal size,
-// aggregating every pattern found (the "full setup" behaviour).
+// SynthesizeAllSizes is like Synthesize but keeps enumerating more
+// expensive multisets up to MaxLen instead of stopping at the first
+// successful cost band, aggregating every pattern found (the "full
+// setup" behaviour). Cost-aware mode skips dominated multisets;
+// Config.DisableCostAware restores the exhaustive enumeration.
 func (e *Engine) SynthesizeAllSizes(goal *sem.Instr) (*Result, error) {
-	return e.runGoal(goal, "all-sizes", e.synthesizeAllSizes)
+	if e.cfg.DisableCostAware {
+		return e.runGoal(goal, "all-sizes", e.synthesizeAllSizes)
+	}
+	return e.runGoal(goal, "all-sizes", func(g *sem.Instr) (*Result, error) {
+		return e.synthesizeCostOrdered(g, true)
+	})
 }
 
 // runGoal brackets one goal synthesis with a trace timeline and span,

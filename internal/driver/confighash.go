@@ -28,9 +28,10 @@ func ConfigHash(groups []Group, opts Options) string {
 		h.Write([]byte(s))
 		h.Write([]byte{0})
 	}
-	wr(fmt.Sprintf("w%d qc%d mp%d seed%d to%d retry%d",
+	wr(fmt.Sprintf("w%d qc%d mp%d seed%d to%d retry%d ca%t",
 		opts.Width, opts.QueryConflicts, opts.MaxPatternsPerGoal,
-		opts.Seed, opts.PerGoalTimeout.Nanoseconds(), opts.MaxRetries))
+		opts.Seed, opts.PerGoalTimeout.Nanoseconds(), opts.MaxRetries,
+		!opts.DisableCostAware))
 	for _, g := range groups {
 		wr(fmt.Sprintf("g:%s l%d all%t mp%d mm%d frz%t",
 			g.Name, g.MaxLen, g.AllSizes, g.MaxPatternsPerGoal,

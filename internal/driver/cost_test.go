@@ -1,0 +1,160 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"selgen/internal/bv"
+	"selgen/internal/ir"
+	"selgen/internal/isel"
+	"selgen/internal/obs"
+	"selgen/internal/pattern"
+	"selgen/internal/sem"
+	"selgen/internal/spec"
+	"selgen/internal/x86"
+)
+
+// TestSetupGoalsHaveExplicitCost is the cost-model audit: every
+// machine-spec instruction in every shipped setup must state its cycle
+// cost, so cost-aware enumeration never runs on the silent default.
+func TestSetupGoalsHaveExplicitCost(t *testing.T) {
+	setups := map[string][]Group{
+		"basic":  BasicSetup(),
+		"full":   FullSetup(),
+		"bmi":    BMISetup(),
+		"rotate": RotateSetup(),
+		"quick":  QuickSetup(),
+	}
+	for name, groups := range setups {
+		for _, grp := range groups {
+			for _, g := range grp.Goals {
+				if g.Cost == 0 {
+					t.Errorf("%s/%s/%s: no explicit cost (CostOrDefault would silently use 1)",
+						name, grp.Name, g.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestDefaultCostAuditCounter: a goal that does omit its cost is
+// still synthesized, but the run counts the fallback.
+func TestDefaultCostAuditCounter(t *testing.T) {
+	noCost := &sem.Instr{
+		Name:    "test.nocost",
+		Args:    []sem.Kind{sem.KindValue},
+		Results: []sem.Kind{sem.KindValue},
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{ctx.B.BvNot(va[0])}}
+		},
+	}
+	ops := ir.Ops()
+	notOnly := []*sem.Instr{ir.ByName(ops, "Not")}
+	tr := obs.New()
+	lib, rep, err := Run(
+		[]Group{{Name: "audit", Goals: []*sem.Instr{noCost}, MaxLen: 1, Ops: notOnly}},
+		Options{Width: 8, Seed: 1, PerGoalTimeout: scaledTimeout(30 * time.Second), Obs: tr})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(lib.Rules) == 0 {
+		t.Fatalf("no rules synthesized for the zero-cost goal")
+	}
+	if got := rep.Metrics.CounterValue("driver.cost.default_cost_goals"); got != 1 {
+		t.Fatalf("driver.cost.default_cost_goals = %d, want 1", got)
+	}
+	// Rules still get a real cycle cost, computed from the pattern.
+	for _, r := range lib.Rules {
+		if r.Cost <= 0 {
+			t.Fatalf("rule %s/%s emitted without a cycle cost", r.Goal, r.Pattern.String())
+		}
+	}
+}
+
+// minGoalCost returns, per goal, the cheapest rule's effective cycle
+// cost.
+func minGoalCost(lib *pattern.Library, ops []*sem.Instr) map[string]int {
+	out := make(map[string]int)
+	for i := range lib.Rules {
+		r := &lib.Rules[i]
+		c := r.Cost
+		if c <= 0 {
+			c = r.Pattern.CycleCost(ops)
+		}
+		if cur, ok := out[r.Goal]; !ok || c < cur {
+			out[r.Goal] = c
+		}
+	}
+	return out
+}
+
+// TestCostAwareCoverageMatchesExhaustive is the differential gate from
+// the issue: on the quickstart setup, cost-aware synthesis must cover
+// exactly the goals the exhaustive ablation covers, with strictly
+// fewer rules, and must never settle for a costlier cheapest rule on
+// any goal.
+func TestCostAwareCoverageMatchesExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes two libraries")
+	}
+	if raceEnabled {
+		t.Skip("double synthesis under -race exceeds the race-pass budget")
+	}
+	run := func(disable bool) *pattern.Library {
+		lib, _, err := Run(QuickSetup(), Options{Width: 8, Seed: 1,
+			MaxPatternsPerGoal: 48,
+			PerGoalTimeout:     scaledTimeout(90 * time.Second),
+			DisableCostAware:   disable})
+		if err != nil {
+			t.Fatalf("synthesis (disable=%v): %v", disable, err)
+		}
+		return lib
+	}
+	ca := run(false)
+	ex := run(true)
+
+	caGoals, exGoals := ca.Goals(), ex.Goals()
+	if len(caGoals) != len(exGoals) {
+		t.Fatalf("goal coverage diverges: cost-aware %v, exhaustive %v", caGoals, exGoals)
+	}
+	for i := range caGoals {
+		if caGoals[i] != exGoals[i] {
+			t.Fatalf("goal coverage diverges: cost-aware %v, exhaustive %v", caGoals, exGoals)
+		}
+	}
+	if len(ca.Rules) >= len(ex.Rules) {
+		t.Fatalf("cost-aware library must be strictly smaller at equal coverage: %d vs %d rules",
+			len(ca.Rules), len(ex.Rules))
+	}
+	ops := ir.Ops()
+	caMin, exMin := minGoalCost(ca, ops), minGoalCost(ex, ops)
+	for goal, exCost := range exMin {
+		if caMin[goal] > exCost {
+			t.Errorf("%s: cost-aware cheapest rule costs %d cycles, exhaustive found %d",
+				goal, caMin[goal], exCost)
+		}
+	}
+
+	// End-to-end cycle gate: on the Table 1 workload, programs selected
+	// with the cost-aware library must never run more cycles than the
+	// exhaustive library's (the extra exhaustive rules are dominated
+	// shapes that can only tie or lose).
+	caSel := isel.New(ca, x86.Registry(), true)
+	exSel := isel.New(ex, x86.Registry(), true)
+	for _, prof := range spec.Profiles() {
+		for _, g := range spec.Generate(prof, 8, ops, 7) {
+			caProg, _, caErr := caSel.Select(g)
+			exProg, _, exErr := exSel.Select(g)
+			if (caErr == nil) != (exErr == nil) {
+				t.Fatalf("%s: error mismatch: cost-aware %v, exhaustive %v", g.Name, caErr, exErr)
+			}
+			if caErr != nil {
+				continue
+			}
+			if caProg.Cycles() > exProg.Cycles() {
+				t.Errorf("%s: cost-aware selection runs %d cycles, exhaustive %d",
+					g.Name, caProg.Cycles(), exProg.Cycles())
+			}
+		}
+	}
+}

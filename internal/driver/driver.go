@@ -124,6 +124,12 @@ type Report struct {
 	// Metrics is the run's metric registry (counters and latency /
 	// conflict histograms collected by the observability layer).
 	Metrics *obs.Registry
+	// MeanRuleCost is the mean cycle cost of the library's rules after
+	// dedup and dominance pruning (0 for an empty library).
+	MeanRuleCost float64
+	// RulesDominated counts rules the library-level dominance prune
+	// dropped (always 0 under Options.DisableCostAware).
+	RulesDominated int
 }
 
 // WriteTable renders the report like the paper's Table 2, followed by
@@ -135,6 +141,10 @@ func (r *Report) WriteTable(w io.Writer) {
 		fmt.Fprintf(w, "%-12s %7d %9d %5d %14s\n", g.Name, g.Goals, g.Patterns, g.MaxSize, g.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Fprintf(w, "%-12s %7d %9d %5d %14s\n", "Total", r.Total.Goals, r.Total.Patterns, r.Total.MaxSize, r.Total.Elapsed.Round(time.Millisecond))
+	if r.MeanRuleCost > 0 {
+		fmt.Fprintf(w, "%-12s mean rule cost %.2f cycles, %d dominated rules pruned\n",
+			"Cost", r.MeanRuleCost, r.RulesDominated)
+	}
 	fmt.Fprintf(w, "%-12s %9s %9s %10s %6s %8s %7s %8s\n",
 		"Solver", "SynthQ", "VerifyQ", "Conflicts", "Blast%", "CexReuse", "Kills", "Timeouts")
 	for _, g := range r.Groups {
@@ -254,7 +264,10 @@ func BMISetup() []Group {
 
 // QuickSetup returns a small smoke-test group (the quickstart goals):
 // seconds of synthesis, exercising register, memory, and flags goals.
-// CI uses it to validate end-to-end runs and trace output cheaply.
+// CI uses it to validate end-to-end runs and trace output cheaply. The
+// sweep is all-sizes so the quickstart exercises the cost-aware
+// dominance filter (a minimal sweep stops before any dominated
+// multiset is reachable).
 func QuickSetup() []Group {
 	return []Group{{
 		Name: "Quick",
@@ -263,7 +276,8 @@ func QuickSetup() []Group {
 			x86.BinMemSrc(x86.AddInstr(), x86.AM{Base: true}),
 			x86.CmpJcc(x86.CCB),
 		},
-		MaxLen: 2,
+		MaxLen:   2,
+		AllSizes: true,
 	}}
 }
 
@@ -314,6 +328,11 @@ type Options struct {
 	// Faults, when non-nil, arms fault-injection points throughout the
 	// stack (driver, cegis, smt, sat, journal). Nil in production.
 	Faults *failpoint.Registry
+	// DisableCostAware turns cost-aware synthesis off (the ablation
+	// reproducing the exhaustive behaviour): multisets enumerate
+	// size-major instead of cost-ascending, no dominance filtering at
+	// enumeration time, and no library-level dominated-rule pruning.
+	DisableCostAware bool
 }
 
 // Run synthesizes all groups into one library. Each goal runs behind a
@@ -343,6 +362,19 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 	rep := &Report{Metrics: tr.Metrics()}
 	ops := ir.Ops()
 	r := &runner{opts: opts, tr: tr, faults: opts.Faults}
+
+	// Cost audit: the cycle model treats a zero Cost as the default 1,
+	// which silently skews cost-aware enumeration when a machine-spec
+	// instruction simply forgot its cost. Surface every fallback.
+	for _, grp := range groups {
+		for _, g := range grp.Goals {
+			if g.Cost == 0 {
+				tr.Add("driver.cost.default_cost_goals", 1)
+				tr.Progressf("driver: %s/%s carries no explicit cost; using default %d cycle(s)\n",
+					grp.Name, g.Name, g.CostOrDefault())
+			}
+		}
+	}
 
 	workers := opts.Parallel
 	if workers < 1 {
@@ -389,8 +421,16 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 			if r.legacy() && o.err != nil && !errors.Is(o.err, cegis.ErrDeadline) {
 				return nil, nil, fmt.Errorf("driver: %s/%s: %w", grp.Name, goal.Name, o.err)
 			}
+			goalOps := ops
+			if grp.Ops != nil {
+				goalOps = grp.Ops
+			}
 			for _, p := range o.res.Patterns {
-				lib.Add(pattern.Rule{Goal: goal.Name, GoalCost: goal.CostOrDefault(), Pattern: p})
+				// Cost is recomputed from the pattern's nodes (one node per
+				// multiset component), so journal-replayed rules carry the
+				// same cost as freshly synthesized ones.
+				lib.Add(pattern.Rule{Goal: goal.Name, GoalCost: goal.CostOrDefault(),
+					Cost: p.CycleCost(goalOps), Pattern: p})
 				if s := p.Size(); s > gr.MaxSize {
 					gr.MaxSize = s
 				}
@@ -451,5 +491,22 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 		}
 	}
 	lib.Dedup()
+	if !opts.DisableCostAware {
+		if n := lib.PruneDominated(ops); n > 0 {
+			rep.RulesDominated = n
+			tr.Add("cegis.cost.rules_dominated", int64(n))
+		}
+	}
+	if len(lib.Rules) > 0 {
+		total := 0
+		for _, rl := range lib.Rules {
+			c := rl.Cost
+			if c == 0 {
+				c = rl.Pattern.CycleCost(ops)
+			}
+			total += c
+		}
+		rep.MeanRuleCost = float64(total) / float64(len(lib.Rules))
+	}
 	return lib, rep, nil
 }

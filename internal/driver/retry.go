@@ -242,6 +242,7 @@ func (r *runner) attemptGoal(grp Group, goal *sem.Instr, goalOps []*sem.Instr, p
 		Seed:                   r.opts.Seed,
 		SatWorkers:             rg.satWorkers,
 		DisableIncremental:     rg.classical,
+		DisableCostAware:       r.opts.DisableCostAware,
 		Obs:                    r.tr,
 		Faults:                 r.faults,
 	}

@@ -1,0 +1,37 @@
+package ir
+
+import "testing"
+
+// TestOpsHaveExplicitCost pins the cycle model: every IR operation
+// must declare its cost explicitly so cost-ordered enumeration never
+// depends on the CostOrDefault fallback.
+func TestOpsHaveExplicitCost(t *testing.T) {
+	for _, op := range Ops() {
+		if op.Cost == 0 {
+			t.Errorf("%s: no explicit cycle cost", op.Name)
+		}
+	}
+}
+
+// TestCycleModelShape pins the relative costs the enumeration order
+// relies on: multiplies are the expensive ALU op, memory traffic and
+// cmov cost more than plain ALU ops.
+func TestCycleModelShape(t *testing.T) {
+	ops := Ops()
+	costOf := func(name string) int {
+		op := ByName(ops, name)
+		if op == nil {
+			t.Fatalf("unknown op %q", name)
+		}
+		return op.Cost
+	}
+	if costOf("Mul") <= costOf("Add") {
+		t.Errorf("Mul (%d) must cost more than Add (%d)", costOf("Mul"), costOf("Add"))
+	}
+	if costOf("Load") <= costOf("Add") || costOf("Store") <= costOf("Add") {
+		t.Errorf("memory ops must cost more than ALU ops")
+	}
+	if costOf("Mux") <= costOf("Add") {
+		t.Errorf("Mux (%d) must cost more than Add (%d)", costOf("Mux"), costOf("Add"))
+	}
+}

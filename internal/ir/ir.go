@@ -64,24 +64,28 @@ func CmpTerm(b *bv.Builder, rel int, x, y *bv.Term) *bv.Term {
 	panic(fmt.Sprintf("ir: unknown relation %d", rel))
 }
 
-// binop builds a two-operand value instruction.
-func binop(name string, f func(b *bv.Builder, x, y *bv.Term) *bv.Term) *sem.Instr {
+// binop builds a two-operand value instruction with the given cycle
+// cost.
+func binop(name string, cost int, f func(b *bv.Builder, x, y *bv.Term) *bv.Term) *sem.Instr {
 	return &sem.Instr{
 		Name:    name,
 		Args:    []sem.Kind{sem.KindValue, sem.KindValue},
 		Results: []sem.Kind{sem.KindValue},
+		Cost:    cost,
 		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
 			return sem.Effect{Results: []*bv.Term{f(ctx.B, va[0], va[1])}}
 		},
 	}
 }
 
-// unop builds a one-operand value instruction.
-func unop(name string, f func(b *bv.Builder, x *bv.Term) *bv.Term) *sem.Instr {
+// unop builds a one-operand value instruction with the given cycle
+// cost.
+func unop(name string, cost int, f func(b *bv.Builder, x *bv.Term) *bv.Term) *sem.Instr {
 	return &sem.Instr{
 		Name:    name,
 		Args:    []sem.Kind{sem.KindValue},
 		Results: []sem.Kind{sem.KindValue},
+		Cost:    cost,
 		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
 			return sem.Effect{Results: []*bv.Term{f(ctx.B, va[0])}}
 		},
@@ -95,6 +99,7 @@ func shift(name string, f func(b *bv.Builder, x, amt *bv.Term) *bv.Term) *sem.In
 		Name:    name,
 		Args:    []sem.Kind{sem.KindValue, sem.KindValue},
 		Results: []sem.Kind{sem.KindValue},
+		Cost:    1,
 		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
 			b := ctx.B
 			pre := b.Ult(va[1], b.Const(uint64(ctx.Width), ctx.Width))
@@ -107,28 +112,30 @@ func shift(name string, f func(b *bv.Builder, x, amt *bv.Term) *bv.Term) *sem.In
 }
 
 // Add returns the addition operation.
-func Add() *sem.Instr { return binop("Add", (*bv.Builder).BvAdd) }
+func Add() *sem.Instr { return binop("Add", 1, (*bv.Builder).BvAdd) }
 
 // Sub returns the subtraction operation.
-func Sub() *sem.Instr { return binop("Sub", (*bv.Builder).BvSub) }
+func Sub() *sem.Instr { return binop("Sub", 1, (*bv.Builder).BvSub) }
 
-// Mul returns the multiplication operation.
-func Mul() *sem.Instr { return binop("Mul", (*bv.Builder).BvMul) }
+// Mul returns the multiplication operation. Multiplies cost more than
+// simple ALU operations in the cycle model, mirroring imul's latency on
+// the modeled x86 subset.
+func Mul() *sem.Instr { return binop("Mul", 3, (*bv.Builder).BvMul) }
 
 // And returns the bitwise conjunction operation.
-func And() *sem.Instr { return binop("And", (*bv.Builder).BvAnd) }
+func And() *sem.Instr { return binop("And", 1, (*bv.Builder).BvAnd) }
 
 // Or returns the bitwise disjunction operation.
-func Or() *sem.Instr { return binop("Or", (*bv.Builder).BvOr) }
+func Or() *sem.Instr { return binop("Or", 1, (*bv.Builder).BvOr) }
 
 // Xor returns the bitwise exclusive-or operation.
-func Xor() *sem.Instr { return binop("Eor", (*bv.Builder).BvXor) }
+func Xor() *sem.Instr { return binop("Eor", 1, (*bv.Builder).BvXor) }
 
 // Not returns the bitwise complement operation.
-func Not() *sem.Instr { return unop("Not", (*bv.Builder).BvNot) }
+func Not() *sem.Instr { return unop("Not", 1, (*bv.Builder).BvNot) }
 
 // Minus returns the arithmetic negation operation.
-func Minus() *sem.Instr { return unop("Minus", (*bv.Builder).BvNeg) }
+func Minus() *sem.Instr { return unop("Minus", 1, (*bv.Builder).BvNeg) }
 
 // Shl returns the left-shift operation (amount must be < W).
 func Shl() *sem.Instr { return shift("Shl", (*bv.Builder).BvShl) }
@@ -148,6 +155,7 @@ func Const() *sem.Instr {
 		Args:      nil,
 		Internals: []sem.Kind{sem.KindValue},
 		Results:   []sem.Kind{sem.KindValue},
+		Cost:      1,
 		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
 			return sem.Effect{Results: []*bv.Term{vi[0]}}
 		},
@@ -164,6 +172,7 @@ func Cmp() *sem.Instr {
 		Args:      []sem.Kind{sem.KindValue, sem.KindValue},
 		Internals: []sem.Kind{sem.KindValue},
 		Results:   []sem.Kind{sem.KindBool},
+		Cost:      1,
 		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
 			b := ctx.B
 			// ite chain over the relation code; code ≥ NumRelations is
@@ -180,12 +189,14 @@ func Cmp() *sem.Instr {
 }
 
 // Mux returns the conditional select operation (libFirm's Mux,
-// LLVM's select).
+// LLVM's select). A conditional select costs more than a plain ALU
+// operation, mirroring cmov in the x86 cycle model.
 func Mux() *sem.Instr {
 	return &sem.Instr{
 		Name:    "Mux",
 		Args:    []sem.Kind{sem.KindBool, sem.KindValue, sem.KindValue},
 		Results: []sem.Kind{sem.KindValue},
+		Cost:    2,
 		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
 			return sem.Effect{Results: []*bv.Term{ctx.B.Ite(va[0], va[1], va[2])}}
 		},
@@ -200,6 +211,7 @@ func Load() *sem.Instr {
 		Name:    "Load",
 		Args:    []sem.Kind{sem.KindMem, sem.KindValue},
 		Results: []sem.Kind{sem.KindMem, sem.KindValue},
+		Cost:    2,
 		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
 			mOut, val, valid := ctx.Mem.Ld(va[0], va[1])
 			return sem.Effect{Results: []*bv.Term{mOut, val}, MemOK: valid}
@@ -213,6 +225,7 @@ func Store() *sem.Instr {
 		Name:    "Store",
 		Args:    []sem.Kind{sem.KindMem, sem.KindValue, sem.KindValue},
 		Results: []sem.Kind{sem.KindMem},
+		Cost:    2,
 		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
 			mOut, valid := ctx.Mem.St(va[0], va[1], va[2])
 			return sem.Effect{Results: []*bv.Term{mOut}, MemOK: valid}

@@ -31,8 +31,13 @@ func resultOf(ref pattern.ValueRef, r int) pattern.ValueRef {
 
 func (b *pb) rule(goal string, cost int, results ...pattern.ValueRef) pattern.Rule {
 	b.p.Results = results
-	return pattern.Rule{Goal: goal, GoalCost: cost, Pattern: b.p}
+	return pattern.Rule{Goal: goal, GoalCost: cost,
+		Cost: b.p.CycleCost(handwrittenOps), Pattern: b.p}
 }
+
+// handwrittenOps is the IR op set the builder charges pattern cycle
+// costs against (shared; ir.Ops() allocates fresh instances).
+var handwrittenOps = ir.Ops()
 
 // HandwrittenLibrary builds the hand-tuned rule library standing in for
 // libFirm's handwritten x86 backend (§7.1): canonical single-node

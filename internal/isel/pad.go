@@ -1,6 +1,7 @@
 package isel
 
 import (
+	"selgen/internal/ir"
 	"selgen/internal/pattern"
 	"selgen/internal/sem"
 )
@@ -26,9 +27,10 @@ func PadLibrary(lib *pattern.Library, width, n int) *pattern.Library {
 		rules = rules[:n]
 	}
 	out.Rules = append(out.Rules, rules...)
+	ops := ir.Ops()
 	for i := 0; len(out.Rules) < n; i++ {
 		c := uint64(1)<<uint(width) + uint64(i)
-		out.Rules = append(out.Rules, pattern.Rule{
+		r := pattern.Rule{
 			Goal:     "add",
 			GoalCost: 1,
 			Pattern: pattern.Pattern{
@@ -42,7 +44,9 @@ func PadLibrary(lib *pattern.Library, width, n int) *pattern.Library {
 				},
 				Results: []pattern.ValueRef{{Kind: pattern.RefNode, Index: 1}},
 			},
-		})
+		}
+		r.Cost = r.Pattern.CycleCost(ops)
+		out.Rules = append(out.Rules, r)
 	}
 	return out
 }

@@ -1,0 +1,368 @@
+package pattern
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"selgen/internal/ir"
+	"selgen/internal/sem"
+)
+
+// addRule builds Add(a_i, a_j) over two value args for goal with the
+// given cost.
+func addRule(goal string, cost, i, j int) Rule {
+	return Rule{Goal: goal, GoalCost: 1, Cost: cost, Pattern: Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue, sem.KindValue},
+		Nodes: []Node{{Op: "Add", Args: []ValueRef{
+			{Kind: RefArg, Index: i}, {Kind: RefArg, Index: j},
+		}}},
+		Results: []ValueRef{{Kind: RefNode, Index: 0}},
+	}}
+}
+
+// saveBytes renders a library to its on-disk JSON form.
+func saveBytes(t *testing.T, lib *Library) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := lib.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestDedupKeepsCheapestSurvivor checks the lowest-cost-survivor
+// guarantee: commutative mirror images share a canonical key, and
+// whichever insertion order they arrive in, the cheaper one survives
+// at the first-seen position.
+func TestDedupKeepsCheapestSurvivor(t *testing.T) {
+	cheap := addRule("add", 2, 1, 0)     // Add(a1, a0)
+	expensive := addRule("add", 3, 0, 1) // Add(a0, a1) — same canon
+	if cheap.Pattern.Canon() != expensive.Pattern.Canon() {
+		t.Fatalf("test setup: mirror images must share a canon")
+	}
+	var libs [2]*Library
+	for k, order := range [][]Rule{{cheap, expensive}, {expensive, cheap}} {
+		lib := &Library{Width: w}
+		lib.Add(Rule{Goal: "other", GoalCost: 1, Cost: 1, Pattern: andnPattern()})
+		for _, r := range order {
+			lib.Add(r)
+		}
+		if dropped := lib.Dedup(); dropped != 1 {
+			t.Fatalf("order %d: dedup dropped %d, want 1", k, dropped)
+		}
+		if len(lib.Rules) != 2 || lib.Rules[1].Goal != "add" {
+			t.Fatalf("order %d: survivor must keep the first-seen position: %+v", k, lib.Rules)
+		}
+		if lib.Rules[1].Cost != 2 {
+			t.Fatalf("order %d: survivor cost %d, want the cheaper 2", k, lib.Rules[1].Cost)
+		}
+		libs[k] = lib
+	}
+	if !bytes.Equal(saveBytes(t, libs[0]), saveBytes(t, libs[1])) {
+		t.Fatalf("deduped libraries must be byte-identical regardless of insertion order")
+	}
+}
+
+// TestDedupEqualCostTieBreak: with equal costs the survivor is chosen
+// by exact pattern key, not arrival order, so journal-replayed and
+// fresh libraries dedup identically.
+func TestDedupEqualCostTieBreak(t *testing.T) {
+	a := addRule("add", 2, 0, 1)
+	b := addRule("add", 2, 1, 0)
+	var got [2]string
+	for k, order := range [][]Rule{{a, b}, {b, a}} {
+		lib := &Library{Width: w}
+		for _, r := range order {
+			lib.Add(r)
+		}
+		lib.Dedup()
+		if len(lib.Rules) != 1 {
+			t.Fatalf("order %d: %d rules after dedup", k, len(lib.Rules))
+		}
+		got[k] = lib.Rules[0].Pattern.exactKey()
+	}
+	if got[0] != got[1] {
+		t.Fatalf("equal-cost dedup survivor depends on insertion order: %q vs %q", got[0], got[1])
+	}
+}
+
+// TestSortBySpecificityCostTieBreak is the regression for the
+// nondeterministic-ordering bug: two rules of identical size and
+// specificity but different cycle cost must order cheapest-first, in
+// the same sequence for every insertion order.
+func TestSortBySpecificityCostTieBreak(t *testing.T) {
+	mul := Rule{Goal: "t", GoalCost: 1, Cost: 3, Pattern: Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue, sem.KindValue},
+		Nodes: []Node{{Op: "Mul", Args: []ValueRef{
+			{Kind: RefArg, Index: 0}, {Kind: RefArg, Index: 1},
+		}}},
+		Results: []ValueRef{{Kind: RefNode, Index: 0}},
+	}}
+	add := addRule("t", 1, 0, 1)
+	var snaps [2][]byte
+	for k, order := range [][]Rule{{mul, add}, {add, mul}} {
+		lib := &Library{Width: w}
+		for _, r := range order {
+			lib.Add(r)
+		}
+		lib.SortBySpecificity()
+		if lib.Rules[0].Cost != 1 {
+			t.Fatalf("order %d: same-specificity rules must order cheapest-first, got cost %d first",
+				k, lib.Rules[0].Cost)
+		}
+		snaps[k] = saveBytes(t, lib)
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) {
+		t.Fatalf("sorted order depends on insertion order")
+	}
+}
+
+// TestSortDeterminismUnderPermutation shuffles a mixed library many
+// ways and demands Dedup+SortBySpecificity converge to one byte
+// sequence — the strict-total-order guarantee selection determinism
+// rests on.
+func TestSortDeterminismUnderPermutation(t *testing.T) {
+	base := []Rule{
+		addRule("add", 1, 0, 1),
+		addRule("add", 2, 1, 0), // same canon as above, pricier
+		{Goal: "andn", GoalCost: 1, Cost: 2, Pattern: andnPattern()},
+		{Goal: "t", GoalCost: 1, Cost: 3, Pattern: Pattern{
+			ArgKinds: []sem.Kind{sem.KindValue, sem.KindValue},
+			Nodes: []Node{{Op: "Mul", Args: []ValueRef{
+				{Kind: RefArg, Index: 0}, {Kind: RefArg, Index: 1},
+			}}},
+			Results: []ValueRef{{Kind: RefNode, Index: 0}},
+		}},
+		addRule("t", 1, 0, 1),
+	}
+	var want []byte
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lib := &Library{Width: w}
+		for _, i := range rng.Perm(len(base)) {
+			lib.Add(base[i])
+		}
+		lib.Dedup()
+		lib.SortBySpecificity()
+		got := saveBytes(t, lib)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("seed %d: permuted insertion produced a different sorted library", seed)
+		}
+	}
+}
+
+// junkAddPattern is Add(Add(a0,a1), Const c): for c = 0 it computes
+// a0+a1 like the plain Add rule but only matches chained-add sites,
+// at a strictly higher cycle cost — the shape the dominance prune
+// exists to drop.
+func junkAddPattern(c uint64) Pattern {
+	return Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue, sem.KindValue},
+		Nodes: []Node{
+			{Op: "Add", Args: []ValueRef{
+				{Kind: RefArg, Index: 0}, {Kind: RefArg, Index: 1},
+			}},
+			{Op: "Const", Internals: []uint64{c}},
+			{Op: "Add", Args: []ValueRef{
+				{Kind: RefNode, Index: 0}, {Kind: RefNode, Index: 1},
+			}},
+		},
+		Results: []ValueRef{{Kind: RefNode, Index: 2}},
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	ops := ir.Ops()
+	general := addRule("add", 1, 0, 1).Pattern
+	junk := junkAddPattern(0)
+	if !Subsumes(&general, &junk, ops) {
+		t.Fatalf("Add(a0,a1) must subsume Add(Add(a0,a1), Const 0)")
+	}
+	if Subsumes(&junk, &general, ops) {
+		t.Fatalf("larger pattern cannot subsume a smaller one")
+	}
+
+	// An Imm-kinded argument is a different value class: the
+	// register-register rule must not subsume the immediate form (the
+	// imm form binds a compile-time constant the general rule cannot).
+	immForm := Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue, sem.KindImm},
+		Nodes: []Node{{Op: "Add", Args: []ValueRef{
+			{Kind: RefArg, Index: 0}, {Kind: RefArg, Index: 1},
+		}}},
+		Results: []ValueRef{{Kind: RefNode, Index: 0}},
+	}
+	if Subsumes(&general, &immForm, ops) {
+		t.Fatalf("value-arg rule must not subsume the imm-arg form (kind mismatch)")
+	}
+
+	// A repeated-argument pattern is more constrained, not more
+	// general: Add(a0,a0) must not subsume Add(a0,a1).
+	repeated := Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue},
+		Nodes: []Node{{Op: "Add", Args: []ValueRef{
+			{Kind: RefArg, Index: 0}, {Kind: RefArg, Index: 0},
+		}}},
+		Results: []ValueRef{{Kind: RefNode, Index: 0}},
+	}
+	two := addRule("add", 1, 0, 1).Pattern
+	if Subsumes(&repeated, &two, ops) {
+		t.Fatalf("Add(a0,a0) must not subsume Add(a0,a1)")
+	}
+
+	// Commutative orientation: Add(a0, Not(a1)) subsumes
+	// Add(Not(a0), a1) via the mirrored variant.
+	notLeft := Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue, sem.KindValue},
+		Nodes: []Node{
+			{Op: "Not", Args: []ValueRef{{Kind: RefArg, Index: 0}}},
+			{Op: "Add", Args: []ValueRef{
+				{Kind: RefNode, Index: 0}, {Kind: RefArg, Index: 1},
+			}},
+		},
+		Results: []ValueRef{{Kind: RefNode, Index: 1}},
+	}
+	notRight := Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue, sem.KindValue},
+		Nodes: []Node{
+			{Op: "Not", Args: []ValueRef{{Kind: RefArg, Index: 1}}},
+			{Op: "Add", Args: []ValueRef{
+				{Kind: RefArg, Index: 0}, {Kind: RefNode, Index: 0},
+			}},
+		},
+		Results: []ValueRef{{Kind: RefNode, Index: 1}},
+	}
+	if !Subsumes(&notLeft, &notRight, ops) {
+		t.Fatalf("commutative variant must be tried when embedding")
+	}
+}
+
+// TestSubsumesTilingSafety: the interior Not in andn is consumed by
+// the rule, so andn must not subsume a pattern where that Not's value
+// escapes — here by also being bound to the subsumed pattern's other
+// operand. And(a0,a1), which consumes nothing interior, does subsume
+// it.
+func TestSubsumesTilingSafety(t *testing.T) {
+	ops := ir.Ops()
+	andn := andnPattern() // And(Not(a0), a1)
+	shared := Pattern{    // And(Not(a0), Not(a0)) with one shared Not
+		ArgKinds: []sem.Kind{sem.KindValue},
+		Nodes: []Node{
+			{Op: "Not", Args: []ValueRef{{Kind: RefArg, Index: 0}}},
+			{Op: "And", Args: []ValueRef{
+				{Kind: RefNode, Index: 0}, {Kind: RefNode, Index: 0},
+			}},
+		},
+		Results: []ValueRef{{Kind: RefNode, Index: 1}},
+	}
+	if Subsumes(&andn, &shared, ops) {
+		t.Fatalf("andn must not subsume a pattern whose Not value escapes the tile")
+	}
+	plainAnd := Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue, sem.KindValue},
+		Nodes: []Node{{Op: "And", Args: []ValueRef{
+			{Kind: RefArg, Index: 0}, {Kind: RefArg, Index: 1},
+		}}},
+		Results: []ValueRef{{Kind: RefNode, Index: 0}},
+	}
+	if !Subsumes(&plainAnd, &shared, ops) {
+		t.Fatalf("And(a0,a1) consumes no interior value and must subsume the shared-Not pattern")
+	}
+}
+
+func TestPruneDominated(t *testing.T) {
+	ops := ir.Ops()
+	build := func(order []Rule) *Library {
+		lib := &Library{Width: w}
+		for _, r := range order {
+			lib.Add(r)
+		}
+		return lib
+	}
+	general := addRule("add", 1, 0, 1)
+	junk := Rule{Goal: "add", GoalCost: 1, Cost: 3, Pattern: junkAddPattern(0)}
+	immForm := Rule{Goal: "add", GoalCost: 1, Cost: 1, Pattern: Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue, sem.KindImm},
+		Nodes: []Node{{Op: "Add", Args: []ValueRef{
+			{Kind: RefArg, Index: 0}, {Kind: RefArg, Index: 1},
+		}}},
+		Results: []ValueRef{{Kind: RefNode, Index: 0}},
+	}}
+	other := Rule{Goal: "andn", GoalCost: 1, Cost: 2, Pattern: andnPattern()}
+
+	var snaps [][]byte
+	for k, order := range [][]Rule{
+		{general, junk, immForm, other},
+		{junk, other, immForm, general},
+	} {
+		lib := build(order)
+		if dropped := lib.PruneDominated(ops); dropped != 1 {
+			t.Fatalf("order %d: dropped %d rules, want 1 (only the junk superset)", k, dropped)
+		}
+		if got := len(lib.ByGoal("add")); got != 2 {
+			t.Fatalf("order %d: %d add rules survive, want general + imm form", k, got)
+		}
+		if got := len(lib.ByGoal("andn")); got != 1 {
+			t.Fatalf("order %d: cross-goal rule must be untouched", k)
+		}
+		for _, r := range lib.Rules {
+			if r.Pattern.Size() == 3 {
+				t.Fatalf("order %d: dominated junk rule survived", k)
+			}
+		}
+		lib.SortBySpecificity()
+		snaps = append(snaps, saveBytes(t, lib))
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) {
+		t.Fatalf("pruned+sorted library depends on insertion order")
+	}
+}
+
+// TestPruneDominatedEqualCost: two mutually-subsuming equal-cost
+// rules (commutative mirror images) keep exactly one deterministic
+// survivor.
+func TestPruneDominatedEqualCost(t *testing.T) {
+	ops := ir.Ops()
+	a := addRule("add", 1, 0, 1)
+	b := addRule("add", 1, 1, 0)
+	var got [2]string
+	for k, order := range [][]Rule{{a, b}, {b, a}} {
+		lib := &Library{Width: w}
+		lib.Add(order[0])
+		lib.Add(order[1])
+		if dropped := lib.PruneDominated(ops); dropped != 1 {
+			t.Fatalf("order %d: dropped %d, want 1", k, dropped)
+		}
+		got[k] = lib.Rules[0].Pattern.exactKey()
+	}
+	if got[0] != got[1] {
+		t.Fatalf("equal-cost prune survivor depends on insertion order: %q vs %q", got[0], got[1])
+	}
+}
+
+func TestCycleCost(t *testing.T) {
+	ops := ir.Ops()
+	andn := andnPattern()
+	if c := andn.CycleCost(ops); c != 2 {
+		t.Fatalf("andn (Not+And) cycle cost %d, want 2", c)
+	}
+	mul := Pattern{
+		ArgKinds: []sem.Kind{sem.KindValue, sem.KindValue},
+		Nodes: []Node{{Op: "Mul", Args: []ValueRef{
+			{Kind: RefArg, Index: 0}, {Kind: RefArg, Index: 1},
+		}}},
+		Results: []ValueRef{{Kind: RefNode, Index: 0}},
+	}
+	if c := mul.CycleCost(ops); c != 3 {
+		t.Fatalf("Mul cycle cost %d, want 3 (imul latency)", c)
+	}
+	junk := junkAddPattern(0)
+	if c := junk.CycleCost(ops); c != 3 {
+		t.Fatalf("Add+Const+Add cycle cost %d, want 3", c)
+	}
+}

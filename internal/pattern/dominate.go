@@ -1,0 +1,201 @@
+package pattern
+
+import (
+	"sort"
+
+	"selgen/internal/ir"
+	"selgen/internal/sem"
+)
+
+// Subsumes reports whether pattern g is at least as general as pattern
+// s: every IR site s matches (and may legally tile) is also matched by
+// g. It embeds g into s top-down from aligned results, trying every
+// commutative orientation of g. The embedding must be structural (same
+// ops, internals, and result arity, node map injective, argument
+// bindings consistent) and tiling-safe: an s-node consumed as interior
+// by g must not be an s-result, must not be bound by a g-argument, and
+// must have all of its s-users inside g's image — otherwise a concrete
+// site could expose the value g wants to consume.
+func Subsumes(g, s *Pattern, ops []*sem.Instr) bool {
+	if len(g.Results) != len(s.Results) || g.Size() > s.Size() {
+		return false
+	}
+	for _, v := range commutativeVariants(*g) {
+		if embeds(&v, s, ops) {
+			return true
+		}
+	}
+	return false
+}
+
+// embeds attempts the deterministic top-down embedding of one
+// orientation of g into s.
+func embeds(g, s *Pattern, ops []*sem.Instr) bool {
+	nodeMap := make([]int, len(g.Nodes)) // g node -> s node
+	for i := range nodeMap {
+		nodeMap[i] = -1
+	}
+	image := make([]bool, len(s.Nodes)) // s nodes in g's image
+	argMap := make([]*ValueRef, len(g.ArgKinds))
+
+	var matchRef func(gr, sr ValueRef) bool
+	var matchNode func(gi, si int) bool
+
+	matchRef = func(gr, sr ValueRef) bool {
+		if gr.Kind == RefArg {
+			if b := argMap[gr.Index]; b != nil {
+				return *b == sr
+			}
+			if g.ArgKinds[gr.Index] != refKind(s, sr, ops) {
+				return false
+			}
+			bound := sr
+			argMap[gr.Index] = &bound
+			return true
+		}
+		if sr.Kind != RefNode || sr.Result != gr.Result {
+			return false
+		}
+		return matchNode(gr.Index, sr.Index)
+	}
+	matchNode = func(gi, si int) bool {
+		if nodeMap[gi] != -1 {
+			return nodeMap[gi] == si
+		}
+		if image[si] {
+			// si already matched by a different g node; the embedding
+			// must be injective for tiling to consume each node once.
+			return false
+		}
+		gn, sn := &g.Nodes[gi], &s.Nodes[si]
+		if gn.Op != sn.Op || len(gn.Args) != len(sn.Args) || len(gn.Internals) != len(sn.Internals) {
+			return false
+		}
+		for k := range gn.Internals {
+			if gn.Internals[k] != sn.Internals[k] {
+				return false
+			}
+		}
+		nodeMap[gi] = si
+		image[si] = true
+		for k := range gn.Args {
+			if !matchRef(gn.Args[k], sn.Args[k]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for i := range g.Results {
+		if !matchRef(g.Results[i], s.Results[i]) {
+			return false
+		}
+	}
+
+	// Tiling-safety: find g nodes whose value is exposed (referenced by
+	// a g result); all other mapped nodes are consumed interior.
+	gExposed := make([]bool, len(g.Nodes))
+	for _, r := range g.Results {
+		if r.Kind == RefNode {
+			gExposed[r.Index] = true
+		}
+	}
+	sExposed := make([]bool, len(s.Nodes))
+	for _, r := range s.Results {
+		if r.Kind == RefNode {
+			sExposed[r.Index] = true
+		}
+	}
+	for gi, si := range nodeMap {
+		if si == -1 || gExposed[gi] {
+			continue
+		}
+		if sExposed[si] {
+			return false
+		}
+		for _, b := range argMap {
+			if b != nil && b.Kind == RefNode && b.Index == si {
+				return false
+			}
+		}
+		for sj := range s.Nodes {
+			for _, a := range s.Nodes[sj].Args {
+				if a.Kind == RefNode && a.Index == si && !image[sj] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// refKind returns the kind of the value an s-side reference produces.
+func refKind(s *Pattern, r ValueRef, ops []*sem.Instr) sem.Kind {
+	if r.Kind == RefArg {
+		return s.ArgKinds[r.Index]
+	}
+	if op := ir.ByName(ops, s.Nodes[r.Index].Op); op != nil {
+		return op.Results[r.Result]
+	}
+	return sem.KindValue
+}
+
+// PruneDominated removes rules dominated by another rule for the same
+// goal: rule s is dropped when some kept rule g has effective cycle
+// cost ≤ s's and Subsumes(g, s) — everywhere s would fire, g fires at
+// no greater cost. Candidates are considered in ascending
+// (cost, canon, exact) order so equal-cost mutual subsumption drops a
+// deterministic loser; surviving rules keep their original positions.
+// It reports how many rules were dropped.
+func (l *Library) PruneDominated(ops []*sem.Instr) int {
+	cost := func(r *Rule) int {
+		if r.Cost > 0 {
+			return r.Cost
+		}
+		return r.Pattern.CycleCost(ops)
+	}
+	byGoal := make(map[string][]int)
+	for i := range l.Rules {
+		byGoal[l.Rules[i].Goal] = append(byGoal[l.Rules[i].Goal], i)
+	}
+	drop := make([]bool, len(l.Rules))
+	for _, idxs := range byGoal {
+		if len(idxs) < 2 {
+			continue
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			ra, rb := &l.Rules[idxs[a]], &l.Rules[idxs[b]]
+			ca, cb := cost(ra), cost(rb)
+			if ca != cb {
+				return ca < cb
+			}
+			if ka, kb := ra.Pattern.Canon(), rb.Pattern.Canon(); ka != kb {
+				return ka < kb
+			}
+			return ra.Pattern.exactKey() < rb.Pattern.exactKey()
+		})
+		for j := 1; j < len(idxs); j++ {
+			for i := 0; i < j; i++ {
+				if drop[idxs[i]] {
+					continue
+				}
+				g, s := &l.Rules[idxs[i]], &l.Rules[idxs[j]]
+				if Subsumes(&g.Pattern, &s.Pattern, ops) {
+					drop[idxs[j]] = true
+					break
+				}
+			}
+		}
+	}
+	kept := l.Rules[:0]
+	dropped := 0
+	for i := range l.Rules {
+		if drop[i] {
+			dropped++
+			continue
+		}
+		kept = append(kept, l.Rules[i])
+	}
+	l.Rules = kept
+	return dropped
+}

@@ -232,8 +232,29 @@ type Rule struct {
 	Goal string `json:"goal"`
 	// GoalCost is the instruction's selection cost.
 	GoalCost int `json:"goalCost"`
+	// Cost is the total cycle cost of the IR multiset the pattern was
+	// synthesized from (sum of CostOrDefault over the pattern's nodes).
+	// Zero means the rule predates cost-aware synthesis; use
+	// Pattern.CycleCost to recompute it.
+	Cost int `json:"cost,omitempty"`
 	// Pattern is the IR pattern implementing the goal.
 	Pattern Pattern `json:"pattern"`
+}
+
+// CycleCost sums the cycle costs of the pattern's nodes under the given
+// IR operation set (unknown operations count as the default cost 1).
+// Because the synthesizer emits exactly one node per multiset
+// component, this equals the originating multiset's total cost.
+func (p *Pattern) CycleCost(ops []*sem.Instr) int {
+	total := 0
+	for _, n := range p.Nodes {
+		if op := ir.ByName(ops, n.Op); op != nil {
+			total += op.CostOrDefault()
+		} else {
+			total++
+		}
+	}
+	return total
 }
 
 // Specificity orders rules for the greedy matcher: larger patterns
@@ -263,19 +284,28 @@ func (l *Library) Merge(other *Library) error {
 }
 
 // Dedup removes duplicated patterns per goal (commutative mirror images
-// and repeats from aggregated runs), keeping first occurrences. It
-// reports how many rules were dropped.
+// and repeats from aggregated runs). The survivor keeps the first
+// occurrence's position but is the lowest-cost duplicate, with the
+// smaller strict fingerprint breaking cost ties — so journal-replayed
+// and freshly synthesized libraries dedup to identical stores
+// regardless of aggregation order. It reports how many rules were
+// dropped.
 func (l *Library) Dedup() int {
-	seen := make(map[string]bool)
+	idx := make(map[string]int)
 	kept := l.Rules[:0]
 	dropped := 0
 	for _, r := range l.Rules {
 		key := r.Goal + "|" + r.Pattern.Canon()
-		if seen[key] {
+		if at, ok := idx[key]; ok {
 			dropped++
+			cur := &kept[at]
+			if r.Cost < cur.Cost ||
+				(r.Cost == cur.Cost && r.Pattern.exactKey() < cur.Pattern.exactKey()) {
+				*cur = r
+			}
 			continue
 		}
-		seen[key] = true
+		idx[key] = len(kept)
 		kept = append(kept, r)
 	}
 	l.Rules = kept
@@ -332,7 +362,7 @@ func (l *Library) ExpandCommutative() *Library {
 				continue
 			}
 			seen[key] = true
-			out.Add(Rule{Goal: r.Goal, GoalCost: r.GoalCost, Pattern: v})
+			out.Add(Rule{Goal: r.Goal, GoalCost: r.GoalCost, Cost: r.Cost, Pattern: v})
 		}
 	}
 	return out
@@ -407,20 +437,56 @@ func (l *Library) FilterNormalized() int {
 
 // SortBySpecificity orders rules from more specific to less specific
 // (the code generator tries them in order, §5.6): larger patterns
-// first, then immediate-binding rules, then cheaper goals. The sort is
-// stable so aggregation order breaks ties deterministically.
+// first, then immediate-binding rules, then cheaper goals, then
+// cheaper patterns. The remaining ties are broken by goal name and
+// pattern fingerprints, making the order a strict total order: the
+// sorted library — and hence isel.Select output — is identical no
+// matter what order rules were inserted in (aggregated runs, journal
+// replay, permuted merges).
 func (l *Library) SortBySpecificity() {
-	sort.SliceStable(l.Rules, func(i, j int) bool {
-		si, sj := l.Rules[i].Specificity(), l.Rules[j].Specificity()
-		if si != sj {
-			return si > sj
+	type keyed struct {
+		spec, imm, goalCost, cost int
+		goal, canon, exact        string
+		rule                      Rule
+	}
+	ks := make([]keyed, len(l.Rules))
+	for i, r := range l.Rules {
+		ks[i] = keyed{
+			spec:     r.Specificity(),
+			imm:      r.immArgs(),
+			goalCost: r.GoalCost,
+			cost:     r.Cost,
+			goal:     r.Goal,
+			canon:    r.Pattern.Canon(),
+			exact:    r.Pattern.exactKey(),
+			rule:     r,
 		}
-		ii, ij := l.Rules[i].immArgs(), l.Rules[j].immArgs()
-		if ii != ij {
-			return ii > ij
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		a, b := &ks[i], &ks[j]
+		if a.spec != b.spec {
+			return a.spec > b.spec
 		}
-		return l.Rules[i].GoalCost < l.Rules[j].GoalCost
+		if a.imm != b.imm {
+			return a.imm > b.imm
+		}
+		if a.goalCost != b.goalCost {
+			return a.goalCost < b.goalCost
+		}
+		if a.cost != b.cost {
+			return a.cost < b.cost
+		}
+		if a.goal != b.goal {
+			return a.goal < b.goal
+		}
+		if a.canon != b.canon {
+			return a.canon < b.canon
+		}
+		return a.exact < b.exact
 	})
+	for i := range ks {
+		l.Rules[i] = ks[i].rule
+	}
 }
 
 // ByGoal returns the rules for one goal instruction.

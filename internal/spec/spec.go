@@ -79,6 +79,31 @@ func (s *gen) push(n *firm.Node) { s.vals = append(s.vals, n) }
 
 func (s *gen) constNode(v uint64) *firm.Node { return s.g.Const(v) }
 
+// dispConst draws a nonzero displacement in [1, 63]: a canonicalizing
+// compiler folds x+0 before instruction selection, so the
+// post-canonicalization IR this generator models never adds zero.
+func (s *gen) dispConst() *firm.Node {
+	return s.constNode(uint64(1 + s.rng.Intn(63)))
+}
+
+// aluConst draws a nonzero immediate operand for Add/Sub (x+0 and x−0
+// are folded by canonicalization).
+func (s *gen) aluConst() *firm.Node {
+	return s.constNode(uint64(1 + s.rng.Intn(255)))
+}
+
+// bitConst draws an immediate for And/Or/Eor that is neither 0 nor the
+// width's all-ones mask — both are identity or absorbing operands a
+// canonicalizing compiler folds away.
+func (s *gen) bitConst() *firm.Node {
+	mask := uint64(1)<<s.w - 1
+	hi := mask
+	if hi > 255 {
+		hi = 255
+	}
+	return s.constNode(1 + uint64(s.rng.Intn(int(hi-1))))
+}
+
 // addr builds a canonical addressing-mode computation over the base
 // pointer: base, base+disp, base+(idx<<k), or base+(idx<<k)+disp.
 func (s *gen) addr() *firm.Node {
@@ -86,7 +111,7 @@ func (s *gen) addr() *firm.Node {
 	case 0:
 		return s.base
 	case 1:
-		return s.g.New("Add", s.base, s.constNode(uint64(s.rng.Intn(64))))
+		return s.g.New("Add", s.base, s.dispConst())
 	case 2:
 		idx := s.pick()
 		sh := s.g.New("Shl", idx, s.constNode(uint64(1+s.rng.Intn(3))))
@@ -95,7 +120,7 @@ func (s *gen) addr() *firm.Node {
 		idx := s.pick()
 		sh := s.g.New("Shl", idx, s.constNode(uint64(1+s.rng.Intn(3))))
 		inner := s.g.New("Add", s.base, sh)
-		return s.g.New("Add", inner, s.constNode(uint64(s.rng.Intn(64))))
+		return s.g.New("Add", inner, s.dispConst())
 	}
 }
 
@@ -108,7 +133,7 @@ func (s *gen) emit(idiom string) {
 		op := ops[s.rng.Intn(len(ops))]
 		a, b := s.pick(), s.pick()
 		if s.rng.Intn(3) == 0 {
-			b = s.constNode(uint64(s.rng.Intn(256)))
+			b = s.aluConst()
 		}
 		s.push(g.New(op, a, b))
 	case "bit":
@@ -120,7 +145,7 @@ func (s *gen) emit(idiom string) {
 		}
 		a, b := s.pick(), s.pick()
 		if s.rng.Intn(4) == 0 {
-			b = s.constNode(uint64(s.rng.Intn(256)))
+			b = s.bitConst()
 		}
 		s.push(g.New(op, a, b))
 	case "shift":
@@ -171,7 +196,7 @@ func (s *gen) emit(idiom string) {
 		idx := s.pick()
 		sh := g.New("Shl", idx, s.constNode(uint64(1+s.rng.Intn(3))))
 		inner := g.New("Add", s.pick(), sh)
-		s.push(g.New("Add", inner, s.constNode(uint64(s.rng.Intn(64)))))
+		s.push(g.New("Add", inner, s.dispConst()))
 	default:
 		panic(fmt.Sprintf("spec: unknown idiom %q", idiom))
 	}

@@ -1,0 +1,41 @@
+package x86
+
+import (
+	"testing"
+
+	"selgen/internal/sem"
+)
+
+// TestRegistryHasExplicitCosts audits the machine spec: every
+// instruction reachable through the registry must declare its cycle
+// cost so cost-aware synthesis charges real cycles, never the silent
+// CostOrDefault fallback.
+func TestRegistryHasExplicitCosts(t *testing.T) {
+	for name, in := range Registry() {
+		if in.Cost == 0 {
+			t.Errorf("%s: no explicit cycle cost", name)
+		}
+	}
+}
+
+// TestGroupsHaveExplicitCosts covers the constructors that
+// parameterize over addressing modes and condition codes beyond what
+// the registry enumerates.
+func TestGroupsHaveExplicitCosts(t *testing.T) {
+	var all []*sem.Instr
+	all = append(all, BasicGroup()...)
+	all = append(all, BMIGroup()...)
+	all = append(all, LoadStoreGroup(StandardAMs())...)
+	all = append(all, UnaryGroup(StandardAMs())...)
+	all = append(all, BinaryGroup(StandardAMs())...)
+	all = append(all, FlagsGroup()...)
+	all = append(all, Rol(), Ror(), MovImm(), Jmp(), Cmov())
+	for _, cc := range TestCCs() {
+		all = append(all, TestJcc(cc))
+	}
+	for _, in := range all {
+		if in.Cost == 0 {
+			t.Errorf("%s: no explicit cycle cost", in.Name)
+		}
+	}
+}

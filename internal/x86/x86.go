@@ -244,6 +244,7 @@ func MovImm() *sem.Instr {
 		Name:    "mov.imm",
 		Args:    []sem.Kind{sem.KindImm},
 		Results: []sem.Kind{sem.KindValue},
+		Cost:    1,
 		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
 			return sem.Effect{Results: []*bv.Term{va[0]}}
 		},

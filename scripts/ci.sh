@@ -66,3 +66,14 @@ cmp "$tmpdir/resumed.json" "$tmpdir/uninterrupted.json" || {
 	echo "ci.sh: resumed library differs from the uninterrupted run" >&2
 	exit 1
 }
+
+# Cost-ablation smoke test: the same quick setup synthesized with
+# -cost-aware=false (exhaustive size-major enumeration, no dominance
+# prune) must cover exactly the same goals with strictly more rules,
+# and no goal's cheapest rule may beat the cost-aware one. The
+# committed BENCH_cegis.json must carry the same invariant in its cost
+# section.
+"$tmpdir/selgen" -setup quick -timeout 2m -cost-aware=false \
+	-o "$tmpdir/exhaustive.json" >/dev/null
+go run scripts/comparelibs.go "$tmpdir/uninterrupted.json" "$tmpdir/exhaustive.json"
+go run scripts/validatecegisbench.go BENCH_cegis.json

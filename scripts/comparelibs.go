@@ -1,0 +1,107 @@
+//go:build ignore
+
+// comparelibs gates the cost-aware library shrink in CI: given a
+// cost-aware rule library and its exhaustive-ablation twin, it checks
+// the two cover exactly the same goals, the cost-aware library is
+// strictly smaller, and for every goal the cost-aware cheapest rule is
+// no costlier than the exhaustive one's:
+//
+//	go run scripts/comparelibs.go cost-aware.json exhaustive.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type rule struct {
+	Goal string `json:"goal"`
+	Cost int    `json:"cost"`
+}
+
+type library struct {
+	Width int    `json:"width"`
+	Rules []rule `json:"rules"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "comparelibs: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func load(path string) library {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var l library
+	if err := json.Unmarshal(raw, &l); err != nil {
+		fail("%s: parse: %v", path, err)
+	}
+	if len(l.Rules) == 0 {
+		fail("%s: empty library", path)
+	}
+	return l
+}
+
+// minCosts maps each goal to its cheapest rule's cycle cost (0 when a
+// rule predates cost annotations — treated as unknown and skipped).
+func minCosts(l library) map[string]int {
+	out := make(map[string]int)
+	for _, r := range l.Rules {
+		if r.Cost <= 0 {
+			continue
+		}
+		if cur, ok := out[r.Goal]; !ok || r.Cost < cur {
+			out[r.Goal] = r.Cost
+		}
+	}
+	return out
+}
+
+func goals(l library) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range l.Rules {
+		if !seen[r.Goal] {
+			seen[r.Goal] = true
+			out = append(out, r.Goal)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fail("usage: comparelibs cost-aware.json exhaustive.json")
+	}
+	ca, ex := load(os.Args[1]), load(os.Args[2])
+	if ca.Width != ex.Width {
+		fail("width mismatch: %d vs %d", ca.Width, ex.Width)
+	}
+	cg, eg := goals(ca), goals(ex)
+	if len(cg) != len(eg) {
+		fail("goal coverage differs: cost-aware %v, exhaustive %v", cg, eg)
+	}
+	for i := range cg {
+		if cg[i] != eg[i] {
+			fail("goal coverage differs: cost-aware %v, exhaustive %v", cg, eg)
+		}
+	}
+	if len(ca.Rules) >= len(ex.Rules) {
+		fail("cost-aware library (%d rules) is not strictly smaller than exhaustive (%d) at equal coverage",
+			len(ca.Rules), len(ex.Rules))
+	}
+	cm, em := minCosts(ca), minCosts(ex)
+	for goal, exCost := range em {
+		if caCost, ok := cm[goal]; ok && caCost > exCost {
+			fail("%s: cost-aware cheapest rule costs %d cycles, exhaustive found %d",
+				goal, caCost, exCost)
+		}
+	}
+	fmt.Printf("comparelibs: ok (%d goals; cost-aware %d rules vs exhaustive %d)\n",
+		len(cg), len(ca.Rules), len(ex.Rules))
+}

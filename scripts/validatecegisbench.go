@@ -1,0 +1,96 @@
+//go:build ignore
+
+// validatecegisbench checks that a BENCH_cegis.json emitted by
+// `iselbench -json` is well-formed: it parses, carries per-goal
+// timings, the incremental pipeline beats the fresh one, and the
+// cost-aware section holds the library-shrink invariant — cost-aware
+// synthesis covers exactly the goals the exhaustive ablation covers,
+// with strictly fewer rules and a positive mean rule cost. CI runs it
+// against the committed benchmark (see scripts/ci.sh):
+//
+//	go run scripts/validatecegisbench.go BENCH_cegis.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type goal struct {
+	Goal          string  `json:"goal"`
+	Patterns      int     `json:"patterns"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	FreshMS       float64 `json:"fresh_ms"`
+}
+
+type cost struct {
+	CostAwareRules     int     `json:"cost_aware_rules"`
+	ExhaustiveRules    int     `json:"exhaustive_rules"`
+	CostAwareGoals     int     `json:"cost_aware_goals"`
+	ExhaustiveGoals    int     `json:"exhaustive_goals"`
+	MeanRuleCost       float64 `json:"mean_rule_cost"`
+	DominatedMultisets int64   `json:"dominated_multisets"`
+	RulesDominated     int     `json:"rules_dominated"`
+}
+
+type doc struct {
+	Width         int     `json:"width"`
+	Rounds        int     `json:"rounds"`
+	Goals         []goal  `json:"goals"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	FreshMS       float64 `json:"fresh_ms"`
+	Speedup       float64 `json:"speedup"`
+	Cost          cost    `json:"cost"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "validatecegisbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: validatecegisbench BENCH_cegis.json")
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		fail("parse: %v", err)
+	}
+	if d.Width <= 0 || d.Rounds <= 0 || len(d.Goals) == 0 {
+		fail("empty benchmark: %+v", d)
+	}
+	for _, g := range d.Goals {
+		if g.Patterns <= 0 || g.IncrementalMS <= 0 || g.FreshMS <= 0 {
+			fail("%s: empty goal row: %+v", g.Goal, g)
+		}
+	}
+	if d.Speedup <= 0 {
+		fail("non-positive incremental speedup %.2f", d.Speedup)
+	}
+
+	c := d.Cost
+	if c.CostAwareRules <= 0 || c.ExhaustiveRules <= 0 {
+		fail("cost section missing library sizes: %+v", c)
+	}
+	if c.CostAwareGoals != c.ExhaustiveGoals {
+		fail("cost-aware covers %d goals but exhaustive covers %d — the modes must agree",
+			c.CostAwareGoals, c.ExhaustiveGoals)
+	}
+	if c.CostAwareRules >= c.ExhaustiveRules {
+		fail("cost-aware library (%d rules) is not strictly smaller than exhaustive (%d) at equal coverage",
+			c.CostAwareRules, c.ExhaustiveRules)
+	}
+	if c.MeanRuleCost <= 0 {
+		fail("non-positive mean rule cost %.2f", c.MeanRuleCost)
+	}
+	if c.DominatedMultisets <= 0 {
+		fail("cost-aware run pruned no multisets — dominance filter inert?")
+	}
+	fmt.Printf("validatecegisbench: ok (%d goals; cost-aware %d rules vs exhaustive %d at %d goals covered; mean rule cost %.2f)\n",
+		len(d.Goals), c.CostAwareRules, c.ExhaustiveRules, c.CostAwareGoals, c.MeanRuleCost)
+}
