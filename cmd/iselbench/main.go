@@ -31,6 +31,7 @@ import (
 	"selgen/internal/obs"
 	"selgen/internal/pattern"
 	"selgen/internal/sem"
+	"selgen/internal/telemetry"
 	"selgen/internal/x86"
 )
 
@@ -265,6 +266,14 @@ var synthFaults *failpoint.Registry
 // performs to the exhaustive size-major ablation (-cost-aware=false).
 var synthDisableCostAware bool
 
+// synthState publishes the synthesis runs' live goal state to the
+// -status server (nil without -status).
+var synthState *driver.RunState
+
+// synthObs is the tracer the -status server's /metrics scrapes (nil
+// without -status; driver.Run then creates its own metrics-only one).
+var synthObs *obs.Tracer
+
 func loadOrSynthesize(path, what string, groups []driver.Group, width, satWorkers int) (*pattern.Library, error) {
 	if path != "" {
 		f, err := os.Open(path)
@@ -283,6 +292,8 @@ func loadOrSynthesize(path, what string, groups []driver.Group, width, satWorker
 		SatWorkers:         satWorkers,
 		Faults:             synthFaults,
 		DisableCostAware:   synthDisableCostAware,
+		Obs:                synthObs,
+		State:              synthState,
 	})
 	if err == nil {
 		rep.WriteTable(os.Stderr)
@@ -304,6 +315,7 @@ func main() {
 		faults    = flag.String("faults", "", "arm fault-injection points during library synthesis, e.g. 'sat.worker.crash=once' (testing only)")
 		fseed     = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection modes")
 		costAware = flag.Bool("cost-aware", true, "synthesize libraries with cost-ordered enumeration and dominance pruning (false = exhaustive size-major ablation)")
+		status    = flag.String("status", "", "serve live telemetry (Prometheus /metrics, per-goal /goals, /debug/pprof) on this address during library synthesis and the Table 1 run (empty = no server)")
 	)
 	flag.Parse()
 
@@ -314,6 +326,22 @@ func main() {
 	}
 	synthFaults = reg
 	synthDisableCostAware = !*costAware
+
+	tracer := obs.New()
+	if *trace != "" {
+		tracer.EnableTrace()
+	}
+	if *status != "" {
+		synthObs = tracer
+		synthState = driver.NewRunState()
+		statusSrv, err := telemetry.Start(*status, tracer, synthState)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer statusSrv.Close()
+		fmt.Fprintf(os.Stderr, "iselbench: telemetry listening on %s (/metrics /goals /debug/pprof)\n", statusSrv.URL())
+	}
 
 	if *iselJSON {
 		// Scaling curve over the padded handwritten library only — no
@@ -348,10 +376,6 @@ func main() {
 		os.Exit(1)
 	}
 
-	tracer := obs.New()
-	if *trace != "" {
-		tracer.EnableTrace()
-	}
 	t, err := driver.RunTable1(*width, *seed, basicLib, fullLib, tracer)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)

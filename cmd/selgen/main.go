@@ -10,6 +10,8 @@
 //	selgen -setup quick -trace trace.json   # Chrome trace_event output
 //	selgen -setup full -journal run.journal # crash-safe checkpointing
 //	selgen -setup full -resume run.journal  # continue an interrupted run
+//	selgen -setup full -status :6060        # live /metrics, /goals, pprof
+//	selgen -setup full -events run.jsonl    # structured JSONL event log
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"selgen/internal/failpoint"
 	"selgen/internal/journal"
 	"selgen/internal/obs"
+	"selgen/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +45,10 @@ func main() {
 		fseed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection modes")
 		retries   = flag.Int("max-retries", 0, "retry-ladder depth for budget failures (0 = default, negative = single attempt, non-deadline errors fatal)")
 		costAware = flag.Bool("cost-aware", true, "enumerate multisets in ascending cycle cost and prune dominated rules (false = exhaustive size-major ablation)")
+		status    = flag.String("status", "", "serve live telemetry (Prometheus /metrics, per-goal /goals, /debug/pprof) on this address, e.g. :6060 (empty = no server)")
+		linger    = flag.Duration("status-linger", 0, "keep the -status server up this long after the run finishes (a final scrape window)")
+		events    = flag.String("events", "", "append a structured JSONL event log to this file")
+		eventsLvl = flag.String("events-level", "info", "minimum -events level: debug, info, warn, or error")
 	)
 	flag.Parse()
 
@@ -66,6 +73,20 @@ func main() {
 	if *trace != "" {
 		tracer.EnableTrace()
 	}
+	if *events != "" {
+		lvl, err := obs.ParseLevel(*eventsLvl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+			os.Exit(2)
+		}
+		ef, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer ef.Close()
+		tracer.SetEventSink(ef, lvl)
+	}
 	reg, err := failpoint.Parse(*faults, *fseed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
@@ -84,6 +105,18 @@ func main() {
 	}
 	if *verbose {
 		opts.Progress = os.Stderr
+	}
+
+	var statusSrv *telemetry.Server
+	if *status != "" {
+		state := driver.NewRunState()
+		statusSrv, err = telemetry.Start(*status, tracer, state)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+			os.Exit(1)
+		}
+		opts.State = state
+		fmt.Fprintf(os.Stderr, "selgen: telemetry listening on %s (/metrics /goals /debug/pprof)\n", statusSrv.URL())
 	}
 
 	if *resume != "" && *jpath != "" && *resume != *jpath {
@@ -174,4 +207,16 @@ func main() {
 		selRep.Write(os.Stdout)
 	}
 	fmt.Printf("\n%d rules written to %s in %s\n", len(lib.Rules), *out, time.Since(start).Round(time.Millisecond))
+
+	if statusSrv != nil {
+		// The linger window lets a scraper take one final /metrics and
+		// /goals reading (every goal terminal) before the process exits.
+		if *linger > 0 {
+			time.Sleep(*linger)
+		}
+		if err := statusSrv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "selgen: telemetry shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

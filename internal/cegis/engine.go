@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"selgen/internal/bv"
@@ -95,6 +96,12 @@ type Config struct {
 	// synthesis/verification query) and counter/histogram metrics that
 	// subsume the Stats totals. Nil disables all instrumentation.
 	Obs *obs.Tracer
+	// Live, when non-nil, receives in-flight progress as atomics an
+	// external observer may read while the goal is still running (the
+	// driver's RunState wires one per goal attempt and the telemetry
+	// server's /goals endpoint reads it). Nil costs one nil check per
+	// bump.
+	Live *LiveStats
 	// Faults, when non-nil, arms the engine's failpoints
 	// (cegis.goal.deadline, cegis.verify.die) and is threaded into
 	// every solver the engine creates so the sat/smt failpoints fire
@@ -123,6 +130,20 @@ var ErrDeadline = errors.New("cegis: deadline exceeded")
 // runGoal boundary so one broken goal cannot kill a whole driver run.
 // The driver quarantines such goals rather than retrying them.
 var ErrInternal = errors.New("cegis: internal error")
+
+// LiveStats publishes a goal's in-flight synthesis progress: atomics
+// the engine bumps alongside Stats so a concurrent reader can see
+// "counterexamples so far" while the goal is still running, without
+// the engine's single-goroutine Stats discipline. Each field is
+// monotonic within one Synthesize call.
+type LiveStats struct {
+	// Counterexamples counts verification failures so far.
+	Counterexamples atomic.Int64
+	// MultisetsTried counts CEGIS runs over multisets so far.
+	MultisetsTried atomic.Int64
+	// Patterns counts valid patterns found so far.
+	Patterns atomic.Int64
+}
 
 // Stats accumulates synthesis effort counters.
 type Stats struct {
@@ -335,6 +356,9 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 	}
 	e.Stats.MultisetsTried++
 	e.obs.Add("cegis.multisets_tried", 1)
+	if e.cfg.Live != nil {
+		e.cfg.Live.MultisetsTried.Add(1)
+	}
 	msp := e.obs.Span(e.tid, "multiset",
 		obs.Str("goal", goal.Name), obs.Int("len", int64(len(comps))))
 	// The multiset span's closing labels report how much of the blast
@@ -513,6 +537,9 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 		if !ok {
 			e.Stats.Counterexamples++
 			e.obs.Add("cegis.counterexamples", 1)
+			if e.cfg.Live != nil {
+				e.cfg.Live.Counterexamples.Add(1)
+			}
 			if cache != nil {
 				cache.add(cex)
 				asserted[cexKey(cex)] = true
@@ -528,6 +555,9 @@ func (e *Engine) cegisAllPatterns(comps []*sem.Instr, goal *sem.Instr, budget in
 			found = append(found, cand)
 			e.Stats.Patterns++
 			e.obs.Add("cegis.patterns", 1)
+			if e.cfg.Live != nil {
+				e.cfg.Live.Patterns.Add(1)
+			}
 		}
 	}
 }
@@ -587,6 +617,8 @@ func (e *Engine) runGoal(goal *sem.Instr, mode string, f func(*sem.Instr) (*Resu
 	if e.obs != nil {
 		e.tid = e.obs.NewTID("goal " + goal.Name)
 	}
+	e.obs.Event(obs.LevelDebug, "cegis.goal.start",
+		obs.Str("goal", goal.Name), obs.Str("phase", mode))
 	sp := e.obs.Span(e.tid, "goal",
 		obs.Str("goal", goal.Name), obs.Str("mode", mode))
 	func() {
@@ -607,6 +639,15 @@ func (e *Engine) runGoal(goal *sem.Instr, mode string, f func(*sem.Instr) (*Resu
 	if err == ErrDeadline {
 		err = fmt.Errorf("cegis: goal %s: %w", goal.Name, err)
 	}
+	doneTags := []obs.Arg{
+		obs.Str("goal", goal.Name), obs.Str("phase", mode),
+		obs.Int("patterns", int64(len(res.Patterns))),
+		obs.Int("counterexamples", e.Stats.Counterexamples),
+	}
+	if err != nil {
+		doneTags = append(doneTags, obs.Str("error", err.Error()))
+	}
+	e.obs.Event(obs.LevelDebug, "cegis.goal.done", doneTags...)
 	return res, err
 }
 

@@ -328,6 +328,11 @@ type Options struct {
 	// Faults, when non-nil, arms fault-injection points throughout the
 	// stack (driver, cegis, smt, sat, journal). Nil in production.
 	Faults *failpoint.Registry
+	// State, when non-nil, receives per-goal live run state (pending →
+	// running → terminal status, current retry rung, counterexamples so
+	// far) for the telemetry server's /goals endpoint. Nil costs
+	// nothing.
+	State *RunState
 	// DisableCostAware turns cost-aware synthesis off (the ablation
 	// reproducing the exhaustive behaviour): multisets enumerate
 	// size-major instead of cost-ascending, no dominance filtering at
@@ -361,7 +366,15 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 	lib := &pattern.Library{Width: opts.Width}
 	rep := &Report{Metrics: tr.Metrics()}
 	ops := ir.Ops()
-	r := &runner{opts: opts, tr: tr, faults: opts.Faults}
+	r := &runner{opts: opts, tr: tr, faults: opts.Faults, state: opts.State}
+
+	// Publish the whole run plan up front so /goals shows every goal
+	// (pending included) from the first scrape.
+	for _, grp := range groups {
+		for gi, g := range grp.Goals {
+			r.state.register(grp.Name, gi, g.Name)
+		}
+	}
 
 	// Cost audit: the cycle model treats a zero Cost as the default 1,
 	// which silently skews cost-aware enumeration when a machine-spec
@@ -370,7 +383,10 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 		for _, g := range grp.Goals {
 			if g.Cost == 0 {
 				tr.Add("driver.cost.default_cost_goals", 1)
-				tr.Progressf("driver: %s/%s carries no explicit cost; using default %d cycle(s)\n",
+				tr.Eventf(obs.LevelWarn, "driver.cost.default",
+					[]obs.Arg{obs.Str("group", grp.Name), obs.Str("goal", g.Name),
+						obs.Int("cost", int64(g.CostOrDefault()))},
+					"driver: %s/%s carries no explicit cost; using default %d cycle(s)\n",
 					grp.Name, g.Name, g.CostOrDefault())
 			}
 		}
@@ -451,27 +467,41 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 			if o.replayed {
 				gr.Replayed++
 			}
-			if opts.Progress != nil {
-				status := ""
-				switch {
-				case o.replayed:
-					status = " (replayed)"
-				case o.status == StatusQuarantined:
-					status = " (quarantined)"
-				case errors.Is(o.err, cegis.ErrDeadline):
-					status = " (timeout)"
-				case o.status == StatusRetried:
-					status = fmt.Sprintf(" (ok after %d attempts)", o.attempts)
-				}
-				ef := o.effort
-				tr.Progressf(
-					"  %-24s %4d patterns in %s%s [checks %d+%d, conflicts %d, blast %.0f%%, cex reuse %d, kills %d, timeouts %d]\n",
-					goal.Name, len(o.res.Patterns), o.res.Elapsed.Round(time.Millisecond), status,
-					ef.SynthQueries, ef.VerifyQueries, ef.Conflicts,
-					100*ef.BlastHitRate(), ef.CexReused, ef.PrefilterKills, ef.QueryTimeouts)
-				if o.status == StatusQuarantined && o.err != nil {
-					tr.Progressf("  %-24s      quarantined: %s\n", "", firstLine(o.err.Error()))
-				}
+			status := ""
+			switch {
+			case o.replayed:
+				status = " (replayed)"
+			case o.status == StatusQuarantined:
+				status = " (quarantined)"
+			case errors.Is(o.err, cegis.ErrDeadline):
+				status = " (timeout)"
+			case o.status == StatusRetried:
+				status = fmt.Sprintf(" (ok after %d attempts)", o.attempts)
+			}
+			ef := o.effort
+			statusTag := o.status.String()
+			if o.replayed {
+				statusTag = "replayed"
+			}
+			tr.Eventf(obs.LevelInfo, "driver.goal.done",
+				[]obs.Arg{
+					obs.Str("group", grp.Name), obs.Str("goal", goal.Name),
+					obs.Str("status", statusTag),
+					obs.Int("attempts", int64(o.attempts)),
+					obs.Int("patterns", int64(len(o.res.Patterns))),
+					obs.Int("elapsed_ms", o.res.Elapsed.Milliseconds()),
+					obs.Int("conflicts", ef.Conflicts),
+					obs.Int("timeouts", ef.QueryTimeouts),
+				},
+				"  %-24s %4d patterns in %s%s [checks %d+%d, conflicts %d, blast %.0f%%, cex reuse %d, kills %d, timeouts %d]\n",
+				goal.Name, len(o.res.Patterns), o.res.Elapsed.Round(time.Millisecond), status,
+				ef.SynthQueries, ef.VerifyQueries, ef.Conflicts,
+				100*ef.BlastHitRate(), ef.CexReused, ef.PrefilterKills, ef.QueryTimeouts)
+			if o.status == StatusQuarantined && o.err != nil {
+				tr.Eventf(obs.LevelError, "driver.goal.quarantine",
+					[]obs.Arg{obs.Str("group", grp.Name), obs.Str("goal", goal.Name),
+						obs.Str("error", firstLine(o.err.Error()))},
+					"  %-24s      quarantined: %s\n", "", firstLine(o.err.Error()))
 			}
 		}
 		gr.Elapsed = time.Since(start)

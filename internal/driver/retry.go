@@ -93,6 +93,9 @@ type runner struct {
 	opts   Options
 	tr     *obs.Tracer
 	faults *failpoint.Registry
+	// state is the live-status publisher (nil when no telemetry is
+	// attached; all its methods are nil-safe).
+	state *RunState
 }
 
 // ladder returns the attempt sequence for one goal. Rung 0 is the
@@ -147,9 +150,10 @@ type goalOut struct {
 // recorded there, synthesized through the retry ladder otherwise, and —
 // when freshly synthesized — appended to the run's journal.
 func (r *runner) runOne(grp Group, gi int, goal *sem.Instr, goalOps []*sem.Instr, perGoal int) goalOut {
-	if rec, ok := r.opts.Resume[journal.Key(grp.Name, gi, goal.Name)]; ok {
+	key := journal.Key(grp.Name, gi, goal.Name)
+	if rec, ok := r.opts.Resume[key]; ok {
 		r.tr.Add("driver.resume.replayed", 1)
-		return goalOut{
+		out := goalOut{
 			res: &cegis.Result{
 				Goal:     goal,
 				Patterns: rec.Patterns,
@@ -160,8 +164,11 @@ func (r *runner) runOne(grp Group, gi int, goal *sem.Instr, goalOps []*sem.Instr
 			attempts: rec.Attempts,
 			replayed: true,
 		}
+		r.state.finish(key, out)
+		return out
 	}
-	out := r.synthesizeWithRetries(grp, goal, goalOps, perGoal)
+	out := r.synthesizeWithRetries(grp, key, goal, goalOps, perGoal)
+	r.state.finish(key, out)
 	r.journalAppend(grp.Name, gi, goal.Name, out)
 	return out
 }
@@ -170,11 +177,16 @@ func (r *runner) runOne(grp Group, gi int, goal *sem.Instr, goalOps []*sem.Instr
 // attempt wins immediately; a non-retryable error quarantines the goal;
 // exhausting the ladder on retryable errors degrades it, keeping the
 // last attempt's verified partial patterns.
-func (r *runner) synthesizeWithRetries(grp Group, goal *sem.Instr, goalOps []*sem.Instr, perGoal int) goalOut {
+func (r *runner) synthesizeWithRetries(grp Group, key string, goal *sem.Instr, goalOps []*sem.Instr, perGoal int) goalOut {
 	rungs := r.ladder()
 	var out goalOut
 	for ai, rg := range rungs {
-		res, effort, err := r.attemptGoal(grp, goal, goalOps, perGoal, rg)
+		var live *cegis.LiveStats
+		if r.state != nil {
+			live = new(cegis.LiveStats)
+		}
+		r.state.startAttempt(key, ai, live)
+		res, effort, err := r.attemptGoal(grp, goal, goalOps, perGoal, rg, live)
 		out.effort.add(effort)
 		out.attempts = ai + 1
 		out.res, out.err = res, err
@@ -200,6 +212,10 @@ func (r *runner) synthesizeWithRetries(grp Group, goal *sem.Instr, goalOps []*se
 		}
 		if ai < len(rungs)-1 {
 			r.tr.Add("driver.retry.attempts", 1)
+			r.tr.Event(obs.LevelInfo, "driver.goal.retry",
+				obs.Str("group", grp.Name), obs.Str("goal", goal.Name),
+				obs.Int("rung", int64(ai+1)),
+				obs.Str("error", firstLine(err.Error())))
 			continue
 		}
 		out.status = StatusDegraded
@@ -221,7 +237,7 @@ func (r *runner) synthesizeWithRetries(grp Group, goal *sem.Instr, goalOps []*se
 // the driver's panic boundary: whatever escapes the engine (or the
 // engine construction itself) is converted to an error wrapping
 // ErrGoalPanic, with the stack attached for the quarantine report.
-func (r *runner) attemptGoal(grp Group, goal *sem.Instr, goalOps []*sem.Instr, perGoal int, rg rung) (res *cegis.Result, effort SolverEffort, err error) {
+func (r *runner) attemptGoal(grp Group, goal *sem.Instr, goalOps []*sem.Instr, perGoal int, rg rung, live *cegis.LiveStats) (res *cegis.Result, effort SolverEffort, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			r.tr.Add("driver.goal_panics", 1)
@@ -244,6 +260,7 @@ func (r *runner) attemptGoal(grp Group, goal *sem.Instr, goalOps []*sem.Instr, p
 		DisableIncremental:     rg.classical,
 		DisableCostAware:       r.opts.DisableCostAware,
 		Obs:                    r.tr,
+		Live:                   live,
 		Faults:                 r.faults,
 	}
 	if rg.timeout > 0 {
@@ -285,7 +302,9 @@ func (r *runner) journalAppend(group string, gi int, goal string, out goalOut) {
 	}
 	if err := r.opts.Journal.Append(rec); err != nil {
 		r.tr.Add("driver.journal.errors", 1)
-		r.tr.Progressf("  journal: %v\n", err)
+		r.tr.Eventf(obs.LevelWarn, "driver.journal.error",
+			[]obs.Arg{obs.Str("group", group), obs.Str("goal", goal)},
+			"  journal: %v\n", err)
 	}
 }
 

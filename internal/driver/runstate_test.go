@@ -1,0 +1,121 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"selgen/internal/cegis"
+	"selgen/internal/journal"
+)
+
+// TestRunStateNilSafe: a nil publisher is a valid no-op, mirroring the
+// nil-Tracer discipline — the driver calls these unconditionally.
+func TestRunStateNilSafe(t *testing.T) {
+	var s *RunState
+	s.register("G", 0, "add")
+	s.startAttempt("k", 0, nil)
+	s.finish("k", goalOut{})
+	snap := s.Snapshot()
+	if len(snap.Goals) != 0 || snap.Counts == nil {
+		t.Fatalf("nil RunState snapshot: %+v", snap)
+	}
+}
+
+// TestRunStateLifecycle walks one goal through the retry ladder:
+// pending → running (rung 0) → running (rung 1) → retried, with the
+// live engine counters streaming mid-attempt and frozen at finish.
+func TestRunStateLifecycle(t *testing.T) {
+	s := NewRunState()
+	key := journal.Key("G", 0, "add")
+	s.register("G", 0, "add")
+
+	snap := s.Snapshot()
+	if len(snap.Goals) != 1 || snap.Goals[0].Status != "pending" || snap.Counts["pending"] != 1 {
+		t.Fatalf("after register: %+v", snap)
+	}
+
+	live := &cegis.LiveStats{}
+	s.startAttempt(key, 0, live)
+	live.Counterexamples.Add(4)
+	live.MultisetsTried.Add(9)
+	live.Patterns.Add(2)
+	snap = s.Snapshot()
+	g := snap.Goals[0]
+	if g.Status != "running" || g.Rung != 0 || g.Attempts != 1 {
+		t.Fatalf("after startAttempt: %+v", g)
+	}
+	if g.Counterexamples != 4 || g.Multisets != 9 || g.Patterns != 2 {
+		t.Fatalf("live counters not streamed: %+v", g)
+	}
+
+	s.startAttempt(key, 1, live)
+	if g := s.Snapshot().Goals[0]; g.Rung != 1 || g.Attempts != 2 || g.Status != "running" {
+		t.Fatalf("after second rung: %+v", g)
+	}
+
+	s.finish(key, goalOut{
+		status:   StatusRetried,
+		attempts: 2,
+		res:      &cegis.Result{Patterns: nil, Elapsed: 30 * time.Millisecond},
+	})
+	g = s.Snapshot().Goals[0]
+	if g.Status != "retried" || g.Attempts != 2 || g.Rung != 1 {
+		t.Fatalf("after finish: %+v", g)
+	}
+	// The final attempt's counters survive the engine being gone.
+	if g.Counterexamples != 4 || g.Multisets != 9 {
+		t.Fatalf("finish dropped live counters: %+v", g)
+	}
+	if g.ElapsedMS != 30 {
+		t.Fatalf("elapsed_ms = %d, want 30", g.ElapsedMS)
+	}
+}
+
+// TestRunStateTerminalVariants covers the quarantine and replay paths:
+// the error text is first-line truncated, and a journal replay gets
+// its own status.
+func TestRunStateTerminalVariants(t *testing.T) {
+	s := NewRunState()
+	s.register("G", 0, "andn")
+	s.register("G", 1, "bextr")
+	kq := journal.Key("G", 0, "andn")
+	kr := journal.Key("G", 1, "bextr")
+
+	s.startAttempt(kq, 0, nil)
+	s.finish(kq, goalOut{status: StatusQuarantined, attempts: 1,
+		err: errors.New("goal andn: panic\nand a stack trace\nmore")})
+	s.finish(kr, goalOut{status: StatusOK, attempts: 1, replayed: true})
+
+	snap := s.Snapshot()
+	if snap.Counts["quarantined"] != 1 || snap.Counts["replayed"] != 1 {
+		t.Fatalf("counts: %v", snap.Counts)
+	}
+	q, r := snap.Goals[0], snap.Goals[1]
+	if q.Status != "quarantined" || q.Error != "goal andn: panic" {
+		t.Fatalf("quarantined row: %+v", q)
+	}
+	if r.Status != "replayed" || !r.Replayed {
+		t.Fatalf("replayed row: %+v", r)
+	}
+}
+
+// TestRunStateReregisterResets: the same key registered again (one
+// process synthesizing twice, e.g. iselbench's basic then full
+// libraries) reuses its row from a clean pending state.
+func TestRunStateReregisterResets(t *testing.T) {
+	s := NewRunState()
+	key := journal.Key("G", 0, "add")
+	s.register("G", 0, "add")
+	s.startAttempt(key, 0, nil)
+	s.finish(key, goalOut{status: StatusOK, attempts: 1})
+
+	s.register("G", 0, "add")
+	snap := s.Snapshot()
+	if len(snap.Goals) != 1 {
+		t.Fatalf("re-register duplicated the row: %+v", snap.Goals)
+	}
+	if g := snap.Goals[0]; g.Status != "pending" || g.Attempts != 0 || g.ElapsedMS != 0 {
+		t.Fatalf("re-register did not reset: %+v", g)
+	}
+}

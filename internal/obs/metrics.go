@@ -18,6 +18,20 @@ func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 // Value reads the counter.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
+// Gauge is a settable int64 metric (a point-in-time level, unlike the
+// monotonic Counter), safe for concurrent use. The telemetry server
+// samples runtime levels (goroutines, heap bytes) into gauges.
+type Gauge struct{ n atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
 // Histogram records an int64 value distribution in exponential
 // (power-of-two) buckets: bucket i counts values v with bit length i
 // (non-positive values land in bucket 0). It keeps exact count, sum,
@@ -80,6 +94,12 @@ func (h *Histogram) Mean() float64 {
 func (h *Histogram) Quantile(q float64) int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// quantileLocked is Quantile's body; the caller holds h.mu (Snapshot
+// reads several quantiles under one lock acquisition).
+func (h *Histogram) quantileLocked(q float64) int64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -114,11 +134,51 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
-// Registry holds named counters and histograms. The zero value is not
-// usable; create with NewRegistry (Tracer.Metrics owns one).
+// HistogramSnapshot is one histogram's state captured under a single
+// lock acquisition: every field describes the same set of
+// observations (count, sum, and the quantiles are mutually
+// consistent, which sequential getter calls cannot guarantee while
+// writers run).
+type HistogramSnapshot struct {
+	Count, Sum, Min, Max int64
+	P50, P90, P99        int64
+}
+
+// Mean returns the snapshot's arithmetic mean (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot captures the histogram's state atomically.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		P50: h.quantileLocked(0.50),
+		P90: h.quantileLocked(0.90),
+		P99: h.quantileLocked(0.99),
+	}
+}
+
+// Snapshot is a point-in-time copy of a whole registry, the input to
+// the telemetry server's Prometheus exposition. Maps are never nil.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Registry holds named counters, gauges, and histograms. The zero
+// value is not usable; create with NewRegistry (Tracer.Metrics owns
+// one).
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -126,8 +186,50 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
+}
+
+// Snapshot captures every metric in the registry. The name set is
+// collected under the registry lock and each metric is then read
+// atomically (counters/gauges) or under its own lock (histograms), so
+// a snapshot taken while writers run is internally consistent per
+// metric and never observes a partially-registered name. Safe to call
+// concurrently with Add/Observe/Set from any number of goroutines.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	for n, c := range counters {
+		snap.Counters[n] = c.Value()
+	}
+	for n, g := range gauges {
+		snap.Gauges[n] = g.Value()
+	}
+	for n, h := range hists {
+		snap.Histograms[n] = h.Snapshot()
+	}
+	return snap
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -152,6 +254,32 @@ func (r *Registry) Histogram(name string) *Histogram {
 	}
 	r.mu.Unlock()
 	return h
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.mu.Unlock()
+	return g
+}
+
+// GaugeValue reads a gauge without creating it (0 when absent).
+func (r *Registry) GaugeValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	g := r.gauges[name]
+	r.mu.Unlock()
+	if g == nil {
+		return 0
+	}
+	return g.Value()
 }
 
 // CounterValue reads a counter without creating it (0 when absent).

@@ -26,7 +26,6 @@
 package obs
 
 import (
-	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -83,6 +82,9 @@ type Tracer struct {
 	events   []event
 	threads  map[int64]string
 	progress io.Writer
+	// events2 is the structured JSONL event sink (see event.go); the
+	// name distinguishes it from the trace-event buffer above.
+	events2 *eventSink
 
 	nextTID atomic.Int64
 }
@@ -226,22 +228,15 @@ func (t *Tracer) Instant(tid int64, name string, args ...Arg) {
 }
 
 // Progressf writes a formatted line to the attached progress writer
-// (if any) and records it as an instant trace event, so progress
-// reporting and the trace share one path.
+// (if any), prefixed with the run's monotonic elapsed time so
+// interleaved goal-parallel output stays orderable, and records it as
+// an instant trace event (and a structured "progress" event when an
+// event sink is attached) — progress reporting, the event log, and
+// the trace share one path. Instrumentation sites that can tag their
+// events should prefer Eventf (event.go); Progressf is the untagged
+// fallback.
 func (t *Tracer) Progressf(format string, a ...any) {
-	if t == nil {
-		return
-	}
-	t.mu.Lock()
-	w := t.progress
-	t.mu.Unlock()
-	msg := fmt.Sprintf(format, a...)
-	if w != nil {
-		io.WriteString(w, msg)
-	}
-	if t.trace.Load() {
-		t.Instant(0, "progress", Str("message", msg))
-	}
+	t.eventf(LevelInfo, "progress", nil, format, a...)
 }
 
 // NumEvents reports how many trace events have been recorded.

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistrySnapshotConcurrent hammers a registry from writer
+// goroutines (Add/Observe/Set, plus creation of fresh names, so the
+// registry maps mutate under the reader) while a reader loops over
+// Snapshot. Under -race this is the lock-consistency proof for the
+// /metrics scrape path; the invariant checks catch torn reads even
+// without the race detector.
+func TestRegistrySnapshotConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 4, 2000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		var lastQueries int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			// Counters are monotonic: successive snapshots never go back.
+			if v := snap.Counters["queries"]; v < lastQueries {
+				t.Errorf("counter went backwards: %d after %d", v, lastQueries)
+				return
+			} else {
+				lastQueries = v
+			}
+			for name, h := range snap.Histograms {
+				// Every field of a histogram snapshot describes the same
+				// observation set.
+				if h.Count < 0 || (h.Count > 0 && (h.Min > h.Max || h.Sum < h.Min || h.P50 < h.Min || h.P99 > h.Max)) {
+					t.Errorf("inconsistent histogram snapshot %s: %+v", name, h)
+					return
+				}
+			}
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("queries").Add(1)
+				r.Histogram("latency.us").Observe(int64(i%100 + 1))
+				r.Gauge("level").Set(int64(i))
+				if i%97 == 0 {
+					// Fresh names force map growth under the reader.
+					r.Counter("c." + string(rune('a'+w)))
+					r.Histogram("h." + string(rune('a'+w))).Observe(int64(i))
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	final := r.Snapshot()
+	if got := final.Counters["queries"]; got != workers*per {
+		t.Fatalf("final queries = %d, want %d", got, workers*per)
+	}
+	h := final.Histograms["latency.us"]
+	if h.Count != workers*per || h.Min != 1 || h.Max != 100 {
+		t.Fatalf("final latency.us snapshot %+v", h)
+	}
+	if final.Gauges["level"] != per-1 {
+		t.Fatalf("final gauge = %d, want %d", final.Gauges["level"], per-1)
+	}
+}
+
+// TestSnapshotNilRegistry: the nil-safe scrape path returns empty,
+// non-nil maps (the exposition writer ranges them without checks).
+func TestSnapshotNilRegistry(t *testing.T) {
+	var r *Registry
+	snap := r.Snapshot()
+	if snap.Counters == nil || snap.Gauges == nil || snap.Histograms == nil {
+		t.Fatalf("nil registry snapshot has nil maps: %+v", snap)
+	}
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+// TestHistogramSnapshotMatchesGetters: the one-lock snapshot agrees
+// with the individual accessors at quiescence.
+func TestHistogramSnapshotMatchesGetters(t *testing.T) {
+	h := &Histogram{}
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 10)
+	}
+	s := h.Snapshot()
+	if s.Count != h.Count() || s.Sum != h.Sum() || s.Min != h.Min() || s.Max != h.Max() {
+		t.Fatalf("snapshot %+v disagrees with getters (count %d sum %d min %d max %d)",
+			s, h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if s.P50 != h.Quantile(0.50) || s.P90 != h.Quantile(0.90) || s.P99 != h.Quantile(0.99) {
+		t.Fatalf("snapshot quantiles %+v disagree with Quantile()", s)
+	}
+	if s.Mean() != h.Mean() {
+		t.Fatalf("snapshot mean %f != %f", s.Mean(), h.Mean())
+	}
+}
+
+// TestGauge covers the new metric kind's basic semantics.
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 || r.GaugeValue("g") != 4 {
+		t.Fatalf("gauge = %d / %d, want 4", g.Value(), r.GaugeValue("g"))
+	}
+	if r.GaugeValue("absent") != 0 {
+		t.Fatalf("absent gauge must read 0")
+	}
+	if r.Gauge("g") != g {
+		t.Fatalf("Gauge must return the same instance for a name")
+	}
+}

@@ -329,6 +329,8 @@ func (p *Portfolio) fanOut(s *Solver, opts Options, assumptions []Lit) (Status, 
 			defer func() {
 				if r := recover(); r != nil {
 					p.Obs.Add("sat.portfolio.worker_panics", 1)
+					p.Obs.Event(obs.LevelError, "sat.portfolio.worker_panic",
+						obs.Int("worker", int64(i)))
 					outs[i] = outcome{status: Unknown,
 						err: fmt.Errorf("%w: worker %d: %v", ErrWorkerPanic, i, r)}
 				}
@@ -393,6 +395,10 @@ func (p *Portfolio) fanOut(s *Solver, opts Options, assumptions []Lit) (Status, 
 	p.Obs.Add("sat.portfolio.wins", 1)
 	p.Obs.Add("sat.portfolio.winner_conflicts", win.stats.Conflicts)
 	p.Obs.Observe("sat.portfolio.winner", wi)
+	p.Obs.Event(obs.LevelDebug, "sat.portfolio.win",
+		obs.Int("worker", wi), obs.Str("result", win.status.String()),
+		obs.Int("conflicts", win.stats.Conflicts),
+		obs.Int("wasted_conflicts", wasted))
 
 	if win.status == Sat && !sn.validates(win.worker, assumptions) {
 		// A model that fails re-validation would poison synthesis with a

@@ -1,0 +1,81 @@
+// Prometheus text-format exposition (version 0.0.4) over an
+// obs.Snapshot. Hand-rolled rather than depending on the client
+// library: the repo is stdlib-only, and the format is a few lines —
+// `# TYPE` declarations followed by `name{labels} value` samples.
+//
+// Naming: every metric is prefixed `selgen_`, dots become
+// underscores, and counters get the conventional `_total` suffix, so
+// the obs counter "cegis.synth_queries" exports as
+// `selgen_cegis_synth_queries_total`. Histograms export as summaries:
+// bucket-resolution quantile gauges plus exact `_sum` and `_count`.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"selgen/internal/obs"
+)
+
+// WritePrometheus renders a registry snapshot in Prometheus text
+// exposition format. Output is deterministic (sorted by metric name)
+// so it is golden-testable.
+func WritePrometheus(w io.Writer, snap obs.Snapshot) {
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, snap.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", pn, h.P50)
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %d\n", pn, h.P90)
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", pn, h.P99)
+		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}
+
+// promName maps an obs metric name to a valid Prometheus metric name:
+// the selgen_ namespace prefix, with every character outside
+// [a-zA-Z0-9_] (the registry uses dots) replaced by an underscore.
+func promName(name string) string {
+	out := make([]byte, 0, len(name)+7)
+	out = append(out, "selgen_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

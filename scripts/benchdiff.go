@@ -1,0 +1,134 @@
+//go:build ignore
+
+// benchdiff gates the bench trajectory: it compares the current
+// BENCH_cegis.json and BENCH_isel.json against the committed baseline
+// copies under scripts/baseline/ and fails on a >15% regression of
+// the gated metrics — total incremental_ms (cegis), and per-point
+// nsPerNode / rulesPerNode (isel, matched by point name). Improvements
+// and new points pass; a baseline point that disappeared fails, so
+// coverage cannot silently shrink. When a regression is intentional
+// (e.g. a feature that honestly costs selection time), refresh the
+// baseline copy in the same commit and say why.
+//
+//	go run scripts/benchdiff.go BENCH_cegis.json BENCH_isel.json
+//	go run scripts/benchdiff.go -max-regress 0.15 -baseline scripts/baseline BENCH_cegis.json BENCH_isel.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+type cegisDoc struct {
+	IncrementalMS float64 `json:"incremental_ms"`
+	Goals         []struct {
+		Goal          string  `json:"goal"`
+		IncrementalMS float64 `json:"incremental_ms"`
+	} `json:"goals"`
+}
+
+type iselDoc struct {
+	Points []struct {
+		Name         string  `json:"name"`
+		NsPerNode    float64 `json:"nsPerNode"`
+		RulesPerNode float64 `json:"rulesPerNode"`
+	} `json:"points"`
+}
+
+var (
+	maxRegress  = flag.Float64("max-regress", 0.15, "maximum tolerated relative regression (0.15 = +15%)")
+	baselineDir = flag.String("baseline", "scripts/baseline", "directory holding the committed baseline copies")
+)
+
+var failed bool
+
+func report(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	failed = true
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func load(path string, into any) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		fatal("%s: parse: %v", path, err)
+	}
+}
+
+// regressed reports whether cur is worse than base by more than the
+// tolerance, for metrics where lower is better. A zero or negative
+// baseline gates nothing (no meaningful ratio).
+func regressed(base, cur float64) bool {
+	return base > 0 && cur > base*(1+*maxRegress)
+}
+
+func checkCegis(path string) {
+	var base, cur cegisDoc
+	load(filepath.Join(*baselineDir, filepath.Base(path)), &base)
+	load(path, &cur)
+	if regressed(base.IncrementalMS, cur.IncrementalMS) {
+		report("%s: total incremental_ms regressed %.1f -> %.1f (>%.0f%%)",
+			path, base.IncrementalMS, cur.IncrementalMS, 100**maxRegress)
+	}
+	fmt.Printf("benchdiff: %s incremental_ms %.1f vs baseline %.1f (%+.1f%%)\n",
+		path, cur.IncrementalMS, base.IncrementalMS,
+		100*(cur.IncrementalMS-base.IncrementalMS)/base.IncrementalMS)
+}
+
+func checkIsel(path string) {
+	var base, cur iselDoc
+	load(filepath.Join(*baselineDir, filepath.Base(path)), &base)
+	load(path, &cur)
+	curByName := map[string]int{}
+	for i, p := range cur.Points {
+		curByName[p.Name] = i
+	}
+	for _, bp := range base.Points {
+		ci, ok := curByName[bp.Name]
+		if !ok {
+			report("%s: baseline point %q disappeared", path, bp.Name)
+			continue
+		}
+		cp := cur.Points[ci]
+		if regressed(bp.NsPerNode, cp.NsPerNode) {
+			report("%s: %s nsPerNode regressed %.0f -> %.0f (>%.0f%%)",
+				path, bp.Name, bp.NsPerNode, cp.NsPerNode, 100**maxRegress)
+		}
+		if regressed(bp.RulesPerNode, cp.RulesPerNode) {
+			report("%s: %s rulesPerNode regressed %.3f -> %.3f (>%.0f%%)",
+				path, bp.Name, bp.RulesPerNode, cp.RulesPerNode, 100**maxRegress)
+		}
+	}
+	fmt.Printf("benchdiff: %s %d points vs %d baseline points ok\n",
+		path, len(cur.Points), len(base.Points))
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fatal("usage: benchdiff [-max-regress 0.15] [-baseline dir] BENCH_cegis.json [BENCH_isel.json ...]")
+	}
+	for _, path := range flag.Args() {
+		switch filepath.Base(path) {
+		case "BENCH_cegis.json":
+			checkCegis(path)
+		case "BENCH_isel.json":
+			checkIsel(path)
+		default:
+			fatal("unknown benchmark file %q (want BENCH_cegis.json or BENCH_isel.json)", path)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -16,11 +16,12 @@ go vet ./...
 # clause exchange, the fault-injection tests panic inside those
 # workers, and the isel tests drive one compiled Selector from several
 # goroutines — so these packages are where a data race would surface
-# first. The driver's synthesis tests run well past go test's default
-# 10m timeout under the race detector, so this pass needs the same
-# widened timeout as the full suite below.
+# first (obs joins them: the telemetry scraper snapshots the registry
+# while synthesis goroutines write it). The driver's synthesis tests
+# run well past go test's default 10m timeout under the race detector,
+# so this pass needs the same widened timeout as the full suite below.
 go test -race -timeout 60m ./internal/sat ./internal/smt ./internal/cegis ./internal/driver \
-	./internal/isel ./internal/pattern
+	./internal/isel ./internal/pattern ./internal/obs ./internal/telemetry
 # the driver tests synthesize libraries and run well past go test's
 # default 10m timeout under the race detector (their per-goal deadlines
 # scale up under race too; see internal/driver scaledTimeout)
@@ -77,3 +78,46 @@ cmp "$tmpdir/resumed.json" "$tmpdir/uninterrupted.json" || {
 	-o "$tmpdir/exhaustive.json" >/dev/null
 go run scripts/comparelibs.go "$tmpdir/uninterrupted.json" "$tmpdir/exhaustive.json"
 go run scripts/validatecegisbench.go BENCH_cegis.json
+
+# Bench-trajectory gate: the committed BENCH_*.json must stay within
+# 15% of the committed baselines under scripts/baseline/ on
+# incremental_ms, nsPerNode, and rulesPerNode. An intentional
+# regression refreshes the baseline copy in the same commit, with the
+# reason in the commit message — the trajectory is gated, not
+# eyeballed.
+go run scripts/benchdiff.go BENCH_cegis.json BENCH_isel.json
+
+# Telemetry smoke test: run selgen with the status server on a random
+# port, scrape /metrics and /goals while the process is alive (the
+# linger window guarantees a scrape even if the quick run finishes
+# before the scraper gets there), validate the Prometheus exposition
+# and the goals document, then require a clean exit status — the
+# graceful-shutdown path. Goroutine-leak coverage for the server lives
+# in internal/telemetry's settle test.
+status_log="$tmpdir/status.log"
+"$tmpdir/selgen" -setup quick -timeout 2m -status 127.0.0.1:0 -status-linger 10s \
+	-events "$tmpdir/events.jsonl" -o "$tmpdir/telemetry.json" \
+	>/dev/null 2>"$status_log" &
+status_pid=$!
+addr=""
+i=0
+while [ "$i" -lt 100 ]; do
+	addr="$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$status_log" | head -n 1)"
+	[ -n "$addr" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "ci.sh: selgen -status never reported a listen address" >&2
+	kill "$status_pid" 2>/dev/null || true
+	exit 1
+fi
+go run scripts/validatemetrics.go "http://$addr/metrics" "http://$addr/goals"
+wait "$status_pid" || {
+	echo "ci.sh: selgen -status run did not exit cleanly" >&2
+	exit 1
+}
+grep -q '"event":"driver.goal.done"' "$tmpdir/events.jsonl" || {
+	echo "ci.sh: events.jsonl carries no driver.goal.done events" >&2
+	exit 1
+}

@@ -1,0 +1,243 @@
+//go:build ignore
+
+// validatemetrics checks a Prometheus text-format exposition (version
+// 0.0.4) as served by the telemetry server's /metrics endpoint: every
+// line is either a well-formed comment or a `name{labels} value`
+// sample, every sample's family is declared with a preceding # TYPE
+// line, metric names are legal, values parse, counters are
+// non-negative, and the families CI depends on (solver counters and
+// the runtime gauges) are present. The argument is a file path or an
+// http:// URL (the CI smoke test scrapes a live selgen -status
+// server).
+//
+// An optional second argument names the /goals endpoint (or a saved
+// copy); its JSON must parse into the RunSnapshot shape with every
+// goal carrying a known status.
+//
+//	go run scripts/validatemetrics.go http://127.0.0.1:6060/metrics
+//	go run scripts/validatemetrics.go http://127.0.0.1:6060/metrics http://127.0.0.1:6060/goals
+//	go run scripts/validatemetrics.go metrics.prom
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "validatemetrics: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// read returns the exposition body from a file or an http URL.
+func read(arg string) io.ReadCloser {
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		resp, err := http.Get(arg)
+		if err != nil {
+			fail("%v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fail("%s: HTTP %s", arg, resp.Status)
+		}
+		return resp.Body
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		fail("%v", err)
+	}
+	return f
+}
+
+// family strips the summary/counter sample suffixes back to the name
+// a # TYPE line declares.
+func family(name string) string {
+	for _, suf := range []string{"_sum", "_count", "_bucket"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// validateGoals checks a /goals document: it parses, has at least one
+// goal, and every goal carries a known status.
+func validateGoals(arg string) {
+	body := read(arg)
+	defer body.Close()
+	var doc struct {
+		ElapsedMS int64          `json:"elapsed_ms"`
+		Counts    map[string]int `json:"counts"`
+		Goals     []struct {
+			Group  string `json:"group"`
+			Goal   string `json:"goal"`
+			Status string `json:"status"`
+		} `json:"goals"`
+	}
+	if err := json.NewDecoder(body).Decode(&doc); err != nil {
+		fail("%s: parse: %v", arg, err)
+	}
+	if len(doc.Goals) == 0 {
+		fail("%s: no goals", arg)
+	}
+	known := map[string]bool{
+		"pending": true, "running": true, "ok": true, "retried": true,
+		"degraded": true, "quarantined": true, "replayed": true,
+	}
+	for _, g := range doc.Goals {
+		if g.Group == "" || g.Goal == "" {
+			fail("%s: goal row missing identity: %+v", arg, g)
+		}
+		if !known[g.Status] {
+			fail("%s: %s/%s has unknown status %q", arg, g.Group, g.Goal, g.Status)
+		}
+		if doc.Counts[g.Status] == 0 {
+			fail("%s: counts does not cover status %q", arg, g.Status)
+		}
+	}
+	fmt.Printf("validatemetrics: goals ok (%d goals, counts %v)\n", len(doc.Goals), doc.Counts)
+}
+
+func main() {
+	if len(os.Args) != 2 && len(os.Args) != 3 {
+		fail("usage: validatemetrics <metrics file|url> [<goals file|url>]")
+	}
+	body := read(os.Args[1])
+	defer body.Close()
+
+	types := map[string]string{} // family -> declared type
+	samples := map[string]int{}  // family -> sample count
+	values := map[string]float64{}
+	lines := 0
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			// Only TYPE and HELP comments carry structure; anything else
+			// after # is a free-form comment per the format.
+			if len(f) >= 2 && f[1] == "TYPE" {
+				if len(f) != 4 {
+					fail("line %d: malformed TYPE comment: %q", lines, line)
+				}
+				name, typ := f[2], f[3]
+				if !nameRe.MatchString(name) {
+					fail("line %d: bad metric name %q", lines, name)
+				}
+				switch typ {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					fail("line %d: unknown type %q", lines, typ)
+				}
+				if _, dup := types[name]; dup {
+					fail("line %d: duplicate TYPE for %q", lines, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		// Sample: name[{labels}] value [timestamp]
+		rest := line
+		name := rest
+		labels := ""
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			j := strings.LastIndexByte(rest, '}')
+			if j < i {
+				fail("line %d: unbalanced braces: %q", lines, line)
+			}
+			name, labels, rest = rest[:i], rest[i+1:j], rest[j+1:]
+		} else {
+			if i := strings.IndexByte(rest, ' '); i < 0 {
+				fail("line %d: sample without value: %q", lines, line)
+			} else {
+				name, rest = rest[:i], rest[i:]
+			}
+		}
+		if !nameRe.MatchString(name) {
+			fail("line %d: bad metric name %q", lines, name)
+		}
+		if labels != "" {
+			for _, kv := range strings.Split(labels, ",") {
+				if kv == "" {
+					continue
+				}
+				eq := strings.IndexByte(kv, '=')
+				if eq < 0 {
+					fail("line %d: malformed label %q", lines, kv)
+				}
+				k, v := kv[:eq], kv[eq+1:]
+				if !labelRe.MatchString(k) {
+					fail("line %d: bad label name %q", lines, k)
+				}
+				if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					fail("line %d: unquoted label value %q", lines, v)
+				}
+			}
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			fail("line %d: want value [timestamp], got %q", lines, rest)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			fail("line %d: bad value %q: %v", lines, fields[0], err)
+		}
+		fam := family(name)
+		if _, ok := types[fam]; !ok {
+			if _, ok := types[name]; !ok {
+				fail("line %d: sample %q has no preceding # TYPE", lines, name)
+			}
+			fam = name
+		}
+		samples[fam]++
+		values[name] = v
+		if types[fam] == "counter" && v < 0 {
+			fail("line %d: negative counter %q = %v", lines, name, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("read: %v", err)
+	}
+	for fam, typ := range types {
+		if samples[fam] == 0 {
+			fail("family %q declared %s but has no samples", fam, typ)
+		}
+	}
+
+	// The families the rest of CI (and the future farm coordinator)
+	// depends on.
+	for _, want := range []struct{ name, typ string }{
+		{"selgen_cegis_synth_queries_total", "counter"},
+		{"selgen_cegis_verify_queries_total", "counter"},
+		{"selgen_runtime_goroutines", "gauge"},
+		{"selgen_runtime_heap_alloc_bytes", "gauge"},
+	} {
+		fam := family(want.name)
+		if _, ok := values[want.name]; !ok {
+			fail("required metric %q missing", want.name)
+		}
+		if types[fam] != want.typ {
+			fail("metric %q: type %q, want %q", want.name, types[fam], want.typ)
+		}
+	}
+	fmt.Printf("validatemetrics: ok (%d families, %d lines)\n", len(types), lines)
+	if len(os.Args) == 3 {
+		validateGoals(os.Args[2])
+	}
+}
