@@ -85,7 +85,7 @@ func BenchmarkTable1SpecCINT(b *testing.B) {
 	var t *driver.Table1
 	var err error
 	for i := 0; i < b.N; i++ {
-		t, err = driver.RunTable1(benchWidth, 99, basic, full, nil)
+		t, err = driver.RunTable1(nil, benchWidth, 99, basic, full, nil)
 		if err != nil {
 			b.Fatalf("table 1: %v", err)
 		}

@@ -31,6 +31,7 @@ import (
 	"selgen/internal/obs"
 	"selgen/internal/pattern"
 	"selgen/internal/sem"
+	"selgen/internal/target"
 	"selgen/internal/telemetry"
 	"selgen/internal/x86"
 )
@@ -83,20 +84,42 @@ type cegisBenchCost struct {
 	RulesDominated     int     `json:"rules_dominated"`
 }
 
+// cegisBenchTarget is one machine backend's quickstart synthesis in
+// the per-target section: the same driver pipeline run end-to-end for
+// each ISA, proving the synthesis stack is target-generic and exposing
+// the cost-structure differences (rule counts, mean selected cycles).
+type cegisBenchTarget struct {
+	Target string `json:"target"`
+	// Rules and Goals describe the synthesized quickstart library;
+	// QuickGoals is the goal count of the setup (Goals == QuickGoals
+	// means full quickstart coverage).
+	Rules        int     `json:"rules"`
+	Goals        int     `json:"goals"`
+	QuickGoals   int     `json:"quick_goals"`
+	MeanRuleCost float64 `json:"mean_rule_cost"`
+	// Coverage and MeanCycles come from selecting the synthetic Table 1
+	// workload with the quickstart library (fallback on): the covered
+	// fraction and the mean simulated cycles per graph.
+	Coverage   float64 `json:"coverage"`
+	MeanCycles float64 `json:"mean_selected_cycles"`
+	SynthMS    float64 `json:"synth_ms"`
+}
+
 // cegisBench is the BENCH_cegis.json document.
 type cegisBench struct {
-	Width            int              `json:"width"`
-	MaxLen           int              `json:"max_len"`
-	Rounds           int              `json:"rounds"`
-	SatWorkers       int              `json:"sat_workers"`
-	Cores            int              `json:"cores"`
-	Goals            []cegisBenchGoal `json:"goals"`
-	IncrementalMS    float64          `json:"incremental_ms"`
-	FreshMS          float64          `json:"fresh_ms"`
-	PortfolioMS      float64          `json:"portfolio_ms,omitempty"`
-	Speedup          float64          `json:"speedup"`
-	PortfolioSpeedup float64          `json:"portfolio_speedup,omitempty"`
-	Cost             cegisBenchCost   `json:"cost"`
+	Width            int                `json:"width"`
+	MaxLen           int                `json:"max_len"`
+	Rounds           int                `json:"rounds"`
+	SatWorkers       int                `json:"sat_workers"`
+	Cores            int                `json:"cores"`
+	Goals            []cegisBenchGoal   `json:"goals"`
+	IncrementalMS    float64            `json:"incremental_ms"`
+	FreshMS          float64            `json:"fresh_ms"`
+	PortfolioMS      float64            `json:"portfolio_ms,omitempty"`
+	Speedup          float64            `json:"speedup"`
+	PortfolioSpeedup float64            `json:"portfolio_speedup,omitempty"`
+	Cost             cegisBenchCost     `json:"cost"`
+	Targets          []cegisBenchTarget `json:"targets"`
 }
 
 // runCEGISBench times the incremental pipeline against the
@@ -208,6 +231,47 @@ func runCEGISBench(width, satWorkers int, path string) error {
 		RulesDominated:     caRep.RulesDominated,
 	}
 
+	// Per-target section: the same quickstart pipeline (synthesize →
+	// compile → select) run for every backend.
+	for _, name := range target.Names() {
+		tgt, err := target.ByName(name)
+		if err != nil {
+			return err
+		}
+		groups, err := driver.SetupFor(name, "quick")
+		if err != nil {
+			return err
+		}
+		quickGoals := 0
+		for _, g := range groups {
+			quickGoals += len(g.Goals)
+		}
+		start := time.Now()
+		lib, rep, err := driver.Run(groups, driver.Options{
+			Target: name, Width: width, Seed: 1,
+			MaxPatternsPerGoal: 48,
+			PerGoalTimeout:     2 * time.Minute,
+		})
+		if err != nil {
+			return fmt.Errorf("%s quickstart: %w", name, err)
+		}
+		synthMS := float64(time.Since(start)) / float64(time.Millisecond)
+		selRep, err := driver.SelectionCheck(lib, tgt, width, 1, nil)
+		if err != nil {
+			return fmt.Errorf("%s selection check: %w", name, err)
+		}
+		out.Targets = append(out.Targets, cegisBenchTarget{
+			Target:       name,
+			Rules:        len(lib.Rules),
+			Goals:        len(lib.Goals()),
+			QuickGoals:   quickGoals,
+			MeanRuleCost: rep.MeanRuleCost,
+			Coverage:     selRep.Coverage.Ratio(),
+			MeanCycles:   selRep.MeanCycles(),
+			SynthMS:      synthMS,
+		})
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -232,13 +296,18 @@ func runCEGISBench(width, satWorkers int, path string) error {
 	fmt.Printf("cost-aware quickstart library: %d rules (mean cost %.2f) vs exhaustive %d rules; %d multisets dominated\n",
 		out.Cost.CostAwareRules, out.Cost.MeanRuleCost,
 		out.Cost.ExhaustiveRules, out.Cost.DominatedMultisets)
+	for _, t := range out.Targets {
+		fmt.Printf("target %-6s: %d rules over %d/%d goals (mean rule cost %.2f), %.1f%% workload coverage, %.1f mean cycles/graph, synthesized in %.0fms\n",
+			t.Target, t.Rules, t.Goals, t.QuickGoals, t.MeanRuleCost,
+			100*t.Coverage, t.MeanCycles, t.SynthMS)
+	}
 	return nil
 }
 
 // writeIselBench runs the selection-scaling benchmark and writes
 // BENCH_isel.json.
-func writeIselBench(width int, seed int64, basicLib, fullLib *pattern.Library, reps int, path string) error {
-	b, err := driver.RunIselBench(width, seed, basicLib, fullLib, reps)
+func writeIselBench(tgt *target.Target, width int, seed int64, basicLib, fullLib *pattern.Library, reps int, path string) error {
+	b, err := driver.RunIselBench(tgt, width, seed, basicLib, fullLib, reps)
 	if err != nil {
 		return err
 	}
@@ -274,7 +343,7 @@ var synthState *driver.RunState
 // without -status; driver.Run then creates its own metrics-only one).
 var synthObs *obs.Tracer
 
-func loadOrSynthesize(path, what string, groups []driver.Group, width, satWorkers int) (*pattern.Library, error) {
+func loadOrSynthesize(path, what, targetName string, groups []driver.Group, width, satWorkers int) (*pattern.Library, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -285,6 +354,7 @@ func loadOrSynthesize(path, what string, groups []driver.Group, width, satWorker
 	}
 	fmt.Fprintf(os.Stderr, "synthesizing %s library (pass -%s to load a pre-built one)...\n", what, what)
 	lib, rep, err := driver.Run(groups, driver.Options{
+		Target:             targetName,
 		Width:              width,
 		PerGoalTimeout:     2 * time.Minute,
 		MaxPatternsPerGoal: 48,
@@ -303,6 +373,7 @@ func loadOrSynthesize(path, what string, groups []driver.Group, width, satWorker
 
 func main() {
 	var (
+		tgtName   = flag.String("target", "x86", "machine backend for the Table 1 run and the selection benchmark: x86 or riscv")
 		width     = flag.Int("width", 8, "word width")
 		basicPath = flag.String("basic", "", "basic rule library JSON (synthesized when empty)")
 		fullPath  = flag.String("full", "", "full rule library JSON (synthesized when empty)")
@@ -319,6 +390,11 @@ func main() {
 	)
 	flag.Parse()
 
+	tgt, err := target.ByName(*tgtName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)
+		os.Exit(2)
+	}
 	reg, err := failpoint.Parse(*faults, *fseed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)
@@ -346,7 +422,7 @@ func main() {
 	if *iselJSON {
 		// Scaling curve over the padded handwritten library only — no
 		// synthesis, so this is the fast path CI smoke-tests.
-		if err := writeIselBench(*width, *seed, nil, nil, *iselReps, "BENCH_isel.json"); err != nil {
+		if err := writeIselBench(tgt, *width, *seed, nil, nil, *iselReps, "BENCH_isel.json"); err != nil {
 			fmt.Fprintf(os.Stderr, "iselbench: isel bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -358,32 +434,42 @@ func main() {
 			fmt.Fprintf(os.Stderr, "iselbench: cegis bench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := writeIselBench(*width, *seed, nil, nil, *iselReps, "BENCH_isel.json"); err != nil {
+		if err := writeIselBench(tgt, *width, *seed, nil, nil, *iselReps, "BENCH_isel.json"); err != nil {
 			fmt.Fprintf(os.Stderr, "iselbench: isel bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	basicLib, err := loadOrSynthesize(*basicPath, "basic", driver.BasicSetup(), *width, *workers)
+	basicGroups, err := driver.SetupFor(tgt.Name, "basic")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)
+		os.Exit(2)
+	}
+	fullGroups, err := driver.SetupFor(tgt.Name, "full")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)
+		os.Exit(2)
+	}
+	basicLib, err := loadOrSynthesize(*basicPath, "basic", tgt.Name, basicGroups, *width, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iselbench: basic library: %v\n", err)
 		os.Exit(1)
 	}
-	fullLib, err := loadOrSynthesize(*fullPath, "full", driver.FullSetup(), *width, *workers)
+	fullLib, err := loadOrSynthesize(*fullPath, "full", tgt.Name, fullGroups, *width, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iselbench: full library: %v\n", err)
 		os.Exit(1)
 	}
 
-	t, err := driver.RunTable1(*width, *seed, basicLib, fullLib, tracer)
+	t, err := driver.RunTable1(tgt, *width, *seed, basicLib, fullLib, tracer)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iselbench: %v\n", err)
 		os.Exit(1)
 	}
 	t.Write(os.Stdout)
 
-	if err := writeIselBench(*width, *seed, basicLib, fullLib, *iselReps, "BENCH_isel.json"); err != nil {
+	if err := writeIselBench(tgt, *width, *seed, basicLib, fullLib, *iselReps, "BENCH_isel.json"); err != nil {
 		fmt.Fprintf(os.Stderr, "iselbench: isel bench: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,11 +1,13 @@
 // Command selgen synthesizes an instruction-selection rule library from
-// the semantic specifications in internal/ir and internal/x86 and
-// writes it as JSON (the pattern database of §3).
+// the semantic specifications in internal/ir and a machine backend
+// (internal/x86 or internal/riscv) and writes it as JSON (the pattern
+// database of §3).
 //
 // Usage:
 //
 //	selgen -setup basic -o rule-library.json
 //	selgen -setup full -width 8 -timeout 30s -o full.json
+//	selgen -target riscv -setup quick -o riscv.json
 //	selgen -setup bmi -v
 //	selgen -setup quick -trace trace.json   # Chrome trace_event output
 //	selgen -setup full -journal run.journal # crash-safe checkpointing
@@ -24,12 +26,14 @@ import (
 	"selgen/internal/failpoint"
 	"selgen/internal/journal"
 	"selgen/internal/obs"
+	"selgen/internal/target"
 	"selgen/internal/telemetry"
 )
 
 func main() {
 	var (
-		setup   = flag.String("setup", "basic", "goal set: basic, full, bmi, or rotate (§7.1, §A.4)")
+		tgtName = flag.String("target", "x86", "machine backend: x86 or riscv")
+		setup   = flag.String("setup", "basic", "goal set: basic, full, quick, rotate, plus bmi (x86) or zbb (riscv)")
 		width   = flag.Int("width", 8, "word width W of the semantic models")
 		out     = flag.String("o", "rule-library.json", "output pattern database")
 		timeout = flag.Duration("timeout", 5*time.Minute, "per-goal synthesis timeout")
@@ -52,20 +56,14 @@ func main() {
 	)
 	flag.Parse()
 
-	var groups []driver.Group
-	switch *setup {
-	case "basic":
-		groups = driver.BasicSetup()
-	case "full":
-		groups = driver.FullSetup()
-	case "bmi":
-		groups = driver.BMISetup()
-	case "rotate":
-		groups = driver.RotateSetup()
-	case "quick":
-		groups = driver.QuickSetup()
-	default:
-		fmt.Fprintf(os.Stderr, "selgen: unknown setup %q (want basic, full, bmi, rotate, or quick)\n", *setup)
+	tgt, err := target.ByName(*tgtName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
+		os.Exit(2)
+	}
+	groups, err := driver.SetupFor(tgt.Name, *setup)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -93,6 +91,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts := driver.Options{
+		Target:             tgt.Name,
 		Width:              *width,
 		PerGoalTimeout:     *timeout,
 		MaxPatternsPerGoal: *maxPat,
@@ -128,6 +127,7 @@ func main() {
 			Version:    journal.Version,
 			Setup:      *setup,
 			Width:      *width,
+			Target:     tgt.Name,
 			ConfigHash: driver.ConfigHash(groups, opts),
 		}
 		var jw *journal.Writer
@@ -164,7 +164,7 @@ func main() {
 
 	var selRep *driver.SelectionReport
 	if *check {
-		selRep, err = driver.SelectionCheck(lib, *width, *seed, tracer)
+		selRep, err = driver.SelectionCheck(lib, tgt, *width, *seed, tracer)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "selgen: %v\n", err)
 			os.Exit(1)

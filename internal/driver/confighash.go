@@ -7,6 +7,8 @@ package driver
 import (
 	"fmt"
 	"hash/fnv"
+
+	"selgen/internal/target"
 )
 
 // ConfigHash returns a stable fingerprint of the library-shaping parts
@@ -28,10 +30,10 @@ func ConfigHash(groups []Group, opts Options) string {
 		h.Write([]byte(s))
 		h.Write([]byte{0})
 	}
-	wr(fmt.Sprintf("w%d qc%d mp%d seed%d to%d retry%d ca%t",
+	wr(fmt.Sprintf("w%d qc%d mp%d seed%d to%d retry%d ca%t tgt%s",
 		opts.Width, opts.QueryConflicts, opts.MaxPatternsPerGoal,
 		opts.Seed, opts.PerGoalTimeout.Nanoseconds(), opts.MaxRetries,
-		!opts.DisableCostAware))
+		!opts.DisableCostAware, target.Normalize(opts.Target)))
 	for _, g := range groups {
 		wr(fmt.Sprintf("g:%s l%d all%t mp%d mm%d frz%t",
 			g.Name, g.MaxLen, g.AllSizes, g.MaxPatternsPerGoal,

@@ -1,0 +1,176 @@
+package driver
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"selgen/internal/firm"
+	"selgen/internal/ir"
+	"selgen/internal/pattern"
+	"selgen/internal/spec"
+	"selgen/internal/target"
+)
+
+// quickLibs caches one synthesized quickstart library per target so
+// the cross-ISA tests pay for synthesis once.
+var quickLibs struct {
+	mu   sync.Mutex
+	libs map[string]*pattern.Library
+}
+
+func quickLib(t *testing.T, targetName string) *pattern.Library {
+	t.Helper()
+	quickLibs.mu.Lock()
+	defer quickLibs.mu.Unlock()
+	if lib, ok := quickLibs.libs[targetName]; ok {
+		return lib
+	}
+	groups, err := SetupFor(targetName, "quick")
+	if err != nil {
+		t.Fatalf("SetupFor(%s, quick): %v", targetName, err)
+	}
+	lib, rep, err := Run(groups, Options{
+		Target: targetName, Width: 8, Seed: 1,
+		MaxPatternsPerGoal: 48,
+		PerGoalTimeout:     2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("synthesizing %s quickstart: %v", targetName, err)
+	}
+	if rep.Total.Quarantined > 0 || rep.Total.Degraded > 0 {
+		t.Fatalf("%s quickstart: %d quarantined, %d degraded goals",
+			targetName, rep.Total.Quarantined, rep.Total.Degraded)
+	}
+	if quickLibs.libs == nil {
+		quickLibs.libs = map[string]*pattern.Library{}
+	}
+	quickLibs.libs[targetName] = lib
+	return lib
+}
+
+// TestCrossISAQuickstartCoverage is the tentpole's acceptance check:
+// the identical IR semantics drive synthesis for both ISAs through the
+// unchanged pipeline, and each target's quickstart goal set reaches
+// 100% coverage (every goal contributes at least one verified rule).
+func TestCrossISAQuickstartCoverage(t *testing.T) {
+	for _, name := range target.Names() {
+		lib := quickLib(t, name)
+		groups, err := SetupFor(name, "quick")
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := map[string]bool{}
+		for _, g := range lib.Goals() {
+			covered[g] = true
+		}
+		for _, grp := range groups {
+			for _, goal := range grp.Goals {
+				if !covered[goal.Name] {
+					t.Errorf("%s: quickstart goal %s has no synthesized rules", name, goal.Name)
+				}
+			}
+		}
+	}
+}
+
+// workloadGraphs returns the synthetic Table 1 workload the selectors
+// run over.
+func workloadGraphs(width int, seed int64) []*firm.Graph {
+	var graphs []*firm.Graph
+	ops := ir.Ops()
+	for _, prof := range spec.Profiles() {
+		graphs = append(graphs, spec.Generate(prof, width, ops, seed)...)
+	}
+	return graphs
+}
+
+// TestCrossISASelectorDeterminism asserts, per target, that the
+// compiled trie selector and the linear-scan oracle emit byte-identical
+// programs, and that rule insertion order does not leak into selection:
+// a selector over a permuted copy of the library emits the same bytes.
+func TestCrossISASelectorDeterminism(t *testing.T) {
+	const width, seed = 8, 1
+	graphs := workloadGraphs(width, seed)
+	for _, name := range target.Names() {
+		tgt, err := target.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib := quickLib(t, name)
+
+		// Permute the rule insertion order deterministically.
+		perm := &pattern.Library{Width: lib.Width}
+		order := rand.New(rand.NewSource(42)).Perm(len(lib.Rules))
+		for _, i := range order {
+			perm.Add(lib.Rules[i])
+		}
+
+		trie := tgt.NewSelector(lib, true)
+		linear := tgt.NewSelector(lib, true)
+		linear.Linear = true
+		permuted := tgt.NewSelector(perm, true)
+
+		for _, g := range graphs {
+			want, _, err := trie.Select(g)
+			if err != nil {
+				t.Fatalf("%s: %s: trie select: %v", name, g.Name, err)
+			}
+			lin, _, err := linear.Select(g)
+			if err != nil {
+				t.Fatalf("%s: %s: linear select: %v", name, g.Name, err)
+			}
+			if want.String() != lin.String() {
+				t.Fatalf("%s: %s: trie and linear selectors disagree:\n%s\nvs\n%s",
+					name, g.Name, want, lin)
+			}
+			per, _, err := permuted.Select(g)
+			if err != nil {
+				t.Fatalf("%s: %s: permuted select: %v", name, g.Name, err)
+			}
+			if want.String() != per.String() {
+				t.Fatalf("%s: %s: rule insertion order changed selection:\n%s\nvs\n%s",
+					name, g.Name, want, per)
+			}
+		}
+	}
+}
+
+// TestCrossISASelectedCodeComputesIR differentially executes the
+// selected machine code against the IR semantics on seeded inputs for
+// both targets — same graphs, same inputs, two ISAs, one answer.
+func TestCrossISASelectedCodeComputesIR(t *testing.T) {
+	const width, seed = 8, 1
+	graphs := workloadGraphs(width, seed)
+	for _, name := range target.Names() {
+		tgt, err := target.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := tgt.NewSelector(quickLib(t, name), true)
+		for _, g := range graphs {
+			params, mems := spec.Inputs(g, seed, 2)
+			prog, _, err := sel.Select(g)
+			if err != nil {
+				t.Fatalf("%s: %s: select: %v", name, g.Name, err)
+			}
+			for i := range params {
+				ref, err := g.Exec(params[i], mems[i])
+				if err != nil {
+					t.Fatalf("%s: IR exec: %v", g.Name, err)
+				}
+				got, err := prog.Exec(params[i], mems[i])
+				if err != nil {
+					t.Fatalf("%s: %s: machine exec: %v", name, g.Name, err)
+				}
+				for ri := range ref.Values {
+					if ref.Values[ri] != got.Values[ri] {
+						t.Fatalf("%s: %s: result %d differs: IR %#x, selected %#x",
+							name, g.Name, ri, ref.Values[ri], got.Values[ri])
+					}
+				}
+			}
+		}
+	}
+}

@@ -91,7 +91,7 @@ func TestDifferentialSynthesizedLibraries(t *testing.T) {
 // stays flat as padding grows the library 100×, while the linear
 // scan's effort grows with it.
 func TestIselBenchScalesSublinearly(t *testing.T) {
-	b, err := RunIselBench(8, 7, nil, nil, 1)
+	b, err := RunIselBench(nil, 8, 7, nil, nil, 1)
 	if err != nil {
 		t.Fatalf("RunIselBench: %v", err)
 	}

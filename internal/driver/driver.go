@@ -283,7 +283,13 @@ func QuickSetup() []Group {
 
 // Options configure a run.
 type Options struct {
-	Width int
+	// Target names the machine backend the groups' goals belong to
+	// ("" = "x86"). Synthesis itself is target-agnostic — the goals
+	// carry their own semantics — but the name is part of ConfigHash
+	// and the journal header, so a resume journal written for one ISA
+	// can never be replayed into a run for another.
+	Target string
+	Width  int
 	// QueryConflicts caps individual SMT queries.
 	QueryConflicts int64
 	// PerGoalTimeout bounds each goal's synthesis (0 = none).

@@ -11,7 +11,7 @@ import (
 	"selgen/internal/isel"
 	"selgen/internal/pattern"
 	"selgen/internal/spec"
-	"selgen/internal/x86"
+	"selgen/internal/target"
 )
 
 // IselBenchPoint is one library size in the selection-time scaling
@@ -81,16 +81,19 @@ func measureSelection(sel *isel.Selector, graphs []*firm.Graph, reps int) (time.
 }
 
 // RunIselBench measures selection time and matching effort as the rule
-// library grows: the handwritten library padded with never-matching
-// rules to 10/100/1000 (see isel.PadLibrary), plus the synthesized
-// basic and full libraries when given (either may be nil). Each
-// library is measured with the indexed matcher and with the legacy
-// linear scan, so the JSON tracks both the trajectory and the speedup.
-func RunIselBench(width int, seed int64, basicLib, fullLib *pattern.Library, reps int) (*IselBench, error) {
+// library grows: the target's handwritten library padded with
+// never-matching rules to 10/100/1000 (see isel.PadLibrary), plus the
+// synthesized basic and full libraries when given (either may be nil).
+// A nil target means x86. Each library is measured with the indexed
+// matcher and with the legacy linear scan, so the JSON tracks both the
+// trajectory and the speedup.
+func RunIselBench(tgt *target.Target, width int, seed int64, basicLib, fullLib *pattern.Library, reps int) (*IselBench, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	goals := x86.Registry()
+	if tgt == nil {
+		tgt = target.X86()
+	}
 	ops := ir.Ops()
 	var graphs []*firm.Graph
 	for _, prof := range spec.Profiles() {
@@ -99,8 +102,8 @@ func RunIselBench(width int, seed int64, basicLib, fullLib *pattern.Library, rep
 
 	b := &IselBench{Width: width, Workload: "table1", Graphs: len(graphs)}
 
-	hand := isel.HandwrittenLibrary(width)
-	handSel := isel.New(hand, goals, true)
+	hand := tgt.Handwritten(width)
+	handSel := tgt.NewSelector(hand, true)
 	handTime, handStats, err := measureSelection(handSel, graphs, reps)
 	if err != nil {
 		return nil, err
@@ -127,8 +130,8 @@ func RunIselBench(width int, seed int64, basicLib, fullLib *pattern.Library, rep
 	}
 
 	for _, e := range entries {
-		sel := isel.New(e.lib, goals, true)
-		lin := isel.New(e.lib, goals, true)
+		sel := tgt.NewSelector(e.lib, true)
+		lin := tgt.NewSelector(e.lib, true)
 		lin.Linear = true
 		t, st, err := measureSelection(sel, graphs, reps)
 		if err != nil {

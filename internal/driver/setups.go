@@ -1,0 +1,111 @@
+package driver
+
+import (
+	"fmt"
+
+	"selgen/internal/ir"
+	"selgen/internal/riscv"
+	"selgen/internal/sem"
+	"selgen/internal/target"
+)
+
+// RiscVBasicSetup returns the riscv analogue of the basic setup: the
+// base-ISA register goals. MaxLen 2 suffices — with no flags register
+// every branch is a single Cmp shape and min/max are Cmp+Mux.
+func RiscVBasicSetup() []Group {
+	return []Group{{Name: "Basic", Goals: riscv.BasicGroup(), MaxLen: 2}}
+}
+
+// RiscVFullSetup returns the riscv full setup: the basic goals plus the
+// I-type immediate forms (with their offset loads/stores) and the Zbb
+// bit-manipulation group minus the variable-count rotates (their
+// canonical pattern has ℓ = 5; see RiscVRotateSetup).
+func RiscVFullSetup() []Group {
+	return []Group{
+		{Name: "Basic", Goals: riscv.BasicGroup(), MaxLen: 2},
+		{Name: "Imm", Goals: riscv.ImmGroup(), MaxLen: 2, AllSizes: true},
+		{Name: "Zbb", Goals: zbbNoRotates(), MaxLen: 3, AllSizes: true},
+	}
+}
+
+// zbbNoRotates returns the Zbb goals without rol/ror (those need the
+// rotate setup's larger budget).
+func zbbNoRotates() []*sem.Instr {
+	var zbb []*sem.Instr
+	for _, g := range riscv.ZbbGroup() {
+		if g.Name == "rol" || g.Name == "ror" {
+			continue
+		}
+		zbb = append(zbb, g)
+	}
+	return zbb
+}
+
+// RiscVRotateSetup returns the Zbb rotates as a standalone group with
+// the same restricted component set and budget shape as the x86
+// RotateSetup — the rotate idiom or(shl(x,c), shr(x, W−c)) is the same
+// five-node pattern on both ISAs.
+func RiscVRotateSetup() []Group {
+	rotOps := []*sem.Instr{
+		ir.Shl(), ir.Shr(), ir.Sub(), ir.Or(), ir.And(), ir.Const(),
+	}
+	return []Group{{
+		Name: "Rotate", Goals: []*sem.Instr{riscv.Rol(), riscv.Ror()},
+		MaxLen: 5, Ops: rotOps, AllSizes: true,
+		MaxPatternsPerGoal: -1, MaxPatternsPerMultiset: 4,
+		FreezeArgWitnesses: true,
+	}}
+}
+
+// RiscVQuickSetup returns the riscv quickstart goals, mirroring the
+// x86 QuickSetup's mix: a register ALU goal, a Zbb idiom, an immediate
+// form, an offset load (memory + immediate encoding), and a branch.
+func RiscVQuickSetup() []Group {
+	return []Group{{
+		Name: "Quick",
+		Goals: []*sem.Instr{
+			riscv.Addi(), riscv.Andn(), riscv.Add(),
+			riscv.LwImm(), riscv.Branch(riscv.RelLtu),
+		},
+		MaxLen:   2,
+		AllSizes: true,
+	}}
+}
+
+// SetupFor resolves a (target, setup) pair to its goal groups. The
+// empty target means x86; the setup names shared by both targets
+// (basic, full, quick, rotate) keep the same meaning, while bmi (x86)
+// and zbb (riscv) name the per-ISA extension groups.
+func SetupFor(targetName, setup string) ([]Group, error) {
+	switch target.Normalize(targetName) {
+	case "x86":
+		switch setup {
+		case "basic":
+			return BasicSetup(), nil
+		case "full":
+			return FullSetup(), nil
+		case "bmi":
+			return BMISetup(), nil
+		case "rotate":
+			return RotateSetup(), nil
+		case "quick":
+			return QuickSetup(), nil
+		}
+		return nil, fmt.Errorf("driver: unknown x86 setup %q (basic, full, bmi, rotate, quick)", setup)
+	case "riscv":
+		switch setup {
+		case "basic":
+			return RiscVBasicSetup(), nil
+		case "full":
+			return RiscVFullSetup(), nil
+		case "zbb":
+			return []Group{{Name: "Zbb", Goals: zbbNoRotates(), MaxLen: 3, AllSizes: true}}, nil
+		case "rotate":
+			return RiscVRotateSetup(), nil
+		case "quick":
+			return RiscVQuickSetup(), nil
+		}
+		return nil, fmt.Errorf("driver: unknown riscv setup %q (basic, full, zbb, rotate, quick)", setup)
+	}
+	return nil, fmt.Errorf("driver: unknown target %q (have %v)", targetName, target.Names())
+}

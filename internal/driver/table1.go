@@ -11,7 +11,7 @@ import (
 	"selgen/internal/obs"
 	"selgen/internal/pattern"
 	"selgen/internal/spec"
-	"selgen/internal/x86"
+	"selgen/internal/target"
 )
 
 // Table1Row is one benchmark line of the paper's Table 1.
@@ -61,13 +61,15 @@ type Table1 struct {
 }
 
 // RunTable1 compiles every synthetic CINT2000 benchmark with the
-// handwritten selector and with prototype selectors generated from the
-// basic and full libraries, executes the selected code in the
+// target's handwritten selector and with prototype selectors generated
+// from the basic and full libraries, executes the selected code in the
 // cycle-cost simulator, verifies all three agree with the IR semantics,
-// and tallies runtimes. A non-nil tracer receives isel.* counters and
-// per-graph selection spans.
-func RunTable1(width int, seed int64, basicLib, fullLib *pattern.Library, tr *obs.Tracer) (*Table1, error) {
-	goals := x86.Registry()
+// and tallies runtimes. A nil target means x86. A non-nil tracer
+// receives isel.* counters and per-graph selection spans.
+func RunTable1(tgt *target.Target, width int, seed int64, basicLib, fullLib *pattern.Library, tr *obs.Tracer) (*Table1, error) {
+	if tgt == nil {
+		tgt = target.X86()
+	}
 	ops := ir.Ops()
 
 	// Selectors are built once: New compiles the library eagerly and
@@ -78,14 +80,14 @@ func RunTable1(width int, seed int64, basicLib, fullLib *pattern.Library, tr *ob
 		sel  *isel.Selector
 	}
 	mkSel := func(lib *pattern.Library) *isel.Selector {
-		s := isel.New(lib, goals, true)
+		s := tgt.NewSelector(lib, true)
 		s.Obs = tr
 		return s
 	}
 	sels := []selEntry{
 		{"basic", mkSel(basicLib)},
 		{"full", mkSel(fullLib)},
-		{"hand", mkSel(isel.HandwrittenLibrary(width))},
+		{"hand", mkSel(tgt.Handwritten(width))},
 	}
 
 	t := &Table1{}

@@ -14,7 +14,7 @@ import (
 // itself (exactly 1.0) and coverage well-defined.
 func TestRunTable1WithHandwrittenLibraries(t *testing.T) {
 	lib := isel.HandwrittenLibrary(8)
-	tab, err := RunTable1(8, 99, lib, lib, nil)
+	tab, err := RunTable1(nil, 8, 99, lib, lib, nil)
 	if err != nil {
 		t.Fatalf("RunTable1: %v", err)
 	}
@@ -51,7 +51,7 @@ func TestRunTable1EmptyVsHandwritten(t *testing.T) {
 	empty := isel.HandwrittenLibrary(8)
 	empty.Rules = empty.Rules[:0]
 	full := isel.HandwrittenLibrary(8)
-	tab, err := RunTable1(8, 99, empty, full, nil)
+	tab, err := RunTable1(nil, 8, 99, empty, full, nil)
 	if err != nil {
 		t.Fatalf("RunTable1: %v", err)
 	}

@@ -36,7 +36,7 @@ func TestHandwrittenLibraryResolves(t *testing.T) {
 }
 
 func TestFallbackGoalsResolve(t *testing.T) {
-	goals := x86.Registry()
+	sel := &Selector{Goals: x86.Registry()}
 	g := firm.NewGraph("f", 8, ir.Ops())
 	x := g.Param(sem.KindValue)
 	y := g.Param(sem.KindValue)
@@ -53,18 +53,18 @@ func TestFallbackGoalsResolve(t *testing.T) {
 		nodes = append(nodes, g.NewI("Cmp", []uint64{uint64(rel)}, x, y))
 	}
 	for _, n := range nodes {
-		if fallbackGoal(goals, n) == nil {
+		if sel.fallbackGoal(n) == nil {
 			t.Errorf("no fallback for %s", n.Op)
 		}
 	}
 	// Store and Mux need nodes of the right kinds.
 	st := g.New("Store", m, x, y)
-	if fallbackGoal(goals, st) == nil {
+	if sel.fallbackGoal(st) == nil {
 		t.Errorf("no fallback for Store")
 	}
 	c := g.NewI("Cmp", []uint64{0}, x, y)
 	mux := g.New("Mux", c, x, y)
-	if fallbackGoal(goals, mux) == nil {
+	if sel.fallbackGoal(mux) == nil {
 		t.Errorf("no fallback for Mux")
 	}
 }

@@ -86,6 +86,11 @@ type Selector struct {
 	// oracle for the indexed matcher (see differential_test.go). Set it
 	// before the first Select.
 	Linear bool
+	// FB is the per-target fallback translation table. Nil selects the
+	// x86 mapping (X86Fallback), preserving the historical behaviour;
+	// other targets set it before the first Select (internal/target
+	// wires it per backend).
+	FB *FallbackMap
 	// Obs, when non-nil, receives isel.* counters (rules tried, trie
 	// visits, matches, fallbacks) and a per-graph "isel.select" span.
 	// Set it before the first Select; a nil tracer disables
@@ -367,11 +372,18 @@ func (s *Selector) tryMatch(g *firm.Graph, cr *pattern.CompiledRule, n *firm.Nod
 				return m.argBind[pr.Index] == gr
 			}
 			if p.ArgKinds[pr.Index] == sem.KindImm {
-				// Immediate operands must match compile-time constants.
+				// Immediate operands must match compile-time constants
+				// that the goal's immediate field can encode (ImmOK nil
+				// = any word constant, the x86 behaviour; RISC-style
+				// targets restrict e.g. to sign-extended 12-bit values).
 				if gr.Node.Op != "Const" {
 					return false
 				}
-				m.imms[pr.Index] = gr.Node.Internals[0]
+				v := gr.Node.Internals[0]
+				if m.goal.ImmOK != nil && !m.goal.ImmOK(pr.Index, v, g.Width) {
+					return false
+				}
+				m.imms[pr.Index] = v
 			}
 			bound[pr.Index] = true
 			m.argBind[pr.Index] = gr
@@ -491,37 +503,66 @@ func (s *Selector) emitMatch(g *firm.Graph, prog *mach.Program, m *match, refVal
 	return nil
 }
 
-// fallbackGoal maps an IR node to a single machine instruction.
-func fallbackGoal(goals map[string]*sem.Instr, n *firm.Node) *sem.Instr {
-	direct := map[string]string{
-		"Add": "add", "Sub": "sub", "Mul": "imul",
-		"And": "and", "Or": "or", "Eor": "xor",
-		"Not": "not", "Minus": "neg",
-		"Shl": "shl", "Shr": "shr", "Shrs": "sar",
-		"Load": "mov.load.b", "Store": "mov.store.b",
-		"Mux": "cmov",
+// FallbackMap describes a target's per-node fallback translation: how
+// each IR operation maps to one machine instruction whose operand
+// order matches the IR argument order.
+type FallbackMap struct {
+	// Direct maps an IR op name to a goal name.
+	Direct map[string]string
+	// Cmp maps an ir.Rel relation to the compare-and-branch goal name.
+	Cmp map[int]string
+	// Const names the constant-materializing goal (mov.imm, li).
+	Const string
+}
+
+// X86Fallback returns the x86 fallback table (the historical default
+// a Selector uses when FB is nil).
+func X86Fallback() *FallbackMap {
+	return &FallbackMap{
+		Direct: map[string]string{
+			"Add": "add", "Sub": "sub", "Mul": "imul",
+			"And": "and", "Or": "or", "Eor": "xor",
+			"Not": "not", "Minus": "neg",
+			"Shl": "shl", "Shr": "shr", "Shrs": "sar",
+			"Load": "mov.load.b", "Store": "mov.store.b",
+			"Mux": "cmov",
+		},
+		Cmp: map[int]string{
+			ir.RelEq: "cmp.je", ir.RelNe: "cmp.jne",
+			ir.RelSlt: "cmp.jl", ir.RelSle: "cmp.jle",
+			ir.RelSgt: "cmp.jg", ir.RelSge: "cmp.jge",
+			ir.RelUlt: "cmp.jb", ir.RelUle: "cmp.jbe",
+			ir.RelUgt: "cmp.ja", ir.RelUge: "cmp.jae",
+		},
+		Const: "mov.imm",
 	}
-	if name, ok := direct[n.Op]; ok {
-		return goals[name]
+}
+
+// x86Fallback is the shared default table (never mutated).
+var x86Fallback = X86Fallback()
+
+// fallbackGoal maps an IR node to a single machine instruction using
+// the selector's fallback table.
+func (s *Selector) fallbackGoal(n *firm.Node) *sem.Instr {
+	fb := s.FB
+	if fb == nil {
+		fb = x86Fallback
+	}
+	if name, ok := fb.Direct[n.Op]; ok {
+		return s.Goals[name]
 	}
 	if n.Op == "Cmp" {
-		rel := int(n.Internals[0])
-		cc := map[int]string{
-			ir.RelEq: "e", ir.RelNe: "ne",
-			ir.RelSlt: "l", ir.RelSle: "le", ir.RelSgt: "g", ir.RelSge: "ge",
-			ir.RelUlt: "b", ir.RelUle: "be", ir.RelUgt: "a", ir.RelUge: "ae",
-		}[rel]
-		return goals["cmp.j"+cc]
+		return s.Goals[fb.Cmp[int(n.Internals[0])]]
 	}
 	if n.Op == "Const" {
-		return goals["mov.imm"]
+		return s.Goals[fb.Const]
 	}
 	return nil
 }
 
 // emitFallback translates one node directly.
 func (s *Selector) emitFallback(g *firm.Graph, prog *mach.Program, n *firm.Node, refVal map[firm.Ref]mach.Value) error {
-	goal := fallbackGoal(s.Goals, n)
+	goal := s.fallbackGoal(n)
 	if goal == nil {
 		return fmt.Errorf("isel: %s: no fallback for op %s", g.Name, n.Op)
 	}

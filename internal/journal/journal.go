@@ -44,6 +44,12 @@ type Header struct {
 	Version int    `json:"version"`
 	Setup   string `json:"setup"`
 	Width   int    `json:"width"`
+	// Target is the machine backend the run synthesizes for (empty in
+	// journals from before multi-target support, which were always
+	// x86). It is checked explicitly — not just via ConfigHash — so a
+	// cross-ISA resume fails with a message naming the ISAs rather than
+	// an opaque hash mismatch.
+	Target string `json:"target,omitempty"`
 	// ConfigHash fingerprints everything else that shapes the library
 	// (group structure, seeds, budgets); see driver.ConfigHash.
 	ConfigHash string `json:"configHash"`
@@ -322,11 +328,26 @@ func checkHeader(got, want Header) error {
 	if got.Version != want.Version {
 		return fmt.Errorf("journal: version mismatch: journal has v%d, this binary writes v%d", got.Version, want.Version)
 	}
+	if normTarget(got.Target) != normTarget(want.Target) {
+		return fmt.Errorf("journal: target mismatch: journal was written for target=%q, this run is target=%q — a rule library synthesized for one ISA cannot be resumed into another",
+			normTarget(got.Target), normTarget(want.Target))
+	}
 	if got.Setup != want.Setup || got.Width != want.Width || got.ConfigHash != want.ConfigHash {
 		return fmt.Errorf("journal: config mismatch: journal was written by setup=%q width=%d hash=%s; this run is setup=%q width=%d hash=%s — resume with matching flags or start a fresh journal",
 			got.Setup, got.Width, got.ConfigHash, want.Setup, want.Width, want.ConfigHash)
 	}
 	return nil
+}
+
+// normTarget canonicalizes a header target name: journals from before
+// multi-target support carry no target field and were always x86.
+// (Deliberately duplicated from internal/target to keep this package
+// dependency-free.)
+func normTarget(name string) string {
+	if name == "" {
+		return "x86"
+	}
+	return name
 }
 
 func truncateTail(f *os.File, tail int) error {

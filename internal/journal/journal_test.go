@@ -265,6 +265,51 @@ func TestVersionMismatchFails(t *testing.T) {
 	}
 }
 
+// A journal written for one target must not resume into a run for
+// another: a rule library synthesized for one ISA is meaningless on a
+// different one, even when setup, width, and config hash all agree.
+func TestCrossTargetResumeFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	x86 := testHeader
+	x86.Target = "x86"
+	w, err := Create(path, x86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(testRecord(0))
+	w.Close()
+
+	riscv := testHeader
+	riscv.Target = "riscv"
+	_, _, err = Resume(path, riscv)
+	if err == nil || !strings.Contains(err.Error(), "target mismatch") {
+		t.Fatalf("cross-target resume must fail with a target-mismatch error, got %v", err)
+	}
+	if err != nil && (!strings.Contains(err.Error(), "x86") || !strings.Contains(err.Error(), "riscv")) {
+		t.Fatalf("cross-target error should name both ISAs, got %v", err)
+	}
+}
+
+// A pre-multi-target journal (no target field) resumes into an x86 run:
+// the empty target normalizes to the historical default.
+func TestLegacyJournalResumesIntoX86(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w := mustCreate(t, path) // testHeader has Target == ""
+	w.Append(testRecord(0))
+	w.Close()
+
+	x86 := testHeader
+	x86.Target = "x86"
+	jw, rec, err := Resume(path, x86)
+	if err != nil {
+		t.Fatalf("legacy journal must resume into an x86 run, got %v", err)
+	}
+	defer jw.Close()
+	if len(rec.Goals) != 1 {
+		t.Fatalf("recovered %d goals, want 1", len(rec.Goals))
+	}
+}
+
 // TestKillFailpointHelper is the subprocess body of TestKillFailpoint:
 // it appends records with journal.kill=hit:2 armed, so the process is
 // SIGKILLed right after the second record is durable. Skipped unless

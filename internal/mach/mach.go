@@ -1,7 +1,7 @@
-// Package mach represents selected machine code (sequences of x86
-// instructions over virtual registers) and executes it against the same
-// semantic models used for synthesis, with a per-instruction cycle-cost
-// model. It stands in for running native binaries in the paper's §7.3
+// Package mach represents selected machine code (sequences of machine
+// instructions over virtual registers, for any backend in
+// internal/target) and executes it against the same semantic models
+// used for synthesis, with a per-instruction cycle-cost model. It stands in for running native binaries in the paper's §7.3
 // evaluation: what instruction selection changes — the number and kind
 // of instructions executed — is exactly what the simulator measures.
 package mach

@@ -1,0 +1,176 @@
+package riscv
+
+import (
+	"selgen/internal/ir"
+	"selgen/internal/pattern"
+	"selgen/internal/sem"
+)
+
+// pb is a small builder for hand-authored patterns (the same idiom as
+// internal/isel's x86 handwritten library).
+type pb struct {
+	p pattern.Pattern
+}
+
+func newPB(argKinds ...sem.Kind) *pb {
+	return &pb{p: pattern.Pattern{ArgKinds: argKinds}}
+}
+
+func arg(i int) pattern.ValueRef { return pattern.ValueRef{Kind: pattern.RefArg, Index: i} }
+
+// node appends an operation and returns its first result.
+func (b *pb) node(op string, internals []uint64, args ...pattern.ValueRef) pattern.ValueRef {
+	b.p.Nodes = append(b.p.Nodes, pattern.Node{Op: op, Args: args, Internals: internals})
+	return pattern.ValueRef{Kind: pattern.RefNode, Index: len(b.p.Nodes) - 1}
+}
+
+// resultOf selects result r of the node behind ref.
+func resultOf(ref pattern.ValueRef, r int) pattern.ValueRef {
+	return pattern.ValueRef{Kind: pattern.RefNode, Index: ref.Index, Result: r}
+}
+
+func (b *pb) rule(goal string, goalCost int, results ...pattern.ValueRef) pattern.Rule {
+	b.p.Results = results
+	return pattern.Rule{Goal: goal, GoalCost: goalCost,
+		Cost: b.p.CycleCost(handwrittenOps), Pattern: b.p}
+}
+
+// handwrittenOps is the IR op set the builder charges pattern cycle
+// costs against (shared; ir.Ops() allocates fresh instances).
+var handwrittenOps = ir.Ops()
+
+// branchRels maps IR comparison relations to the compare-and-branch
+// goals (all ten relations have a single-instruction form thanks to
+// the assembler pseudo branches).
+var branchRels = map[int]string{
+	ir.RelEq: "beq", ir.RelNe: "bne",
+	ir.RelSlt: "blt", ir.RelSle: "ble", ir.RelSgt: "bgt", ir.RelSge: "bge",
+	ir.RelUlt: "bltu", ir.RelUle: "bleu", ir.RelUgt: "bgtu", ir.RelUge: "bgeu",
+}
+
+// HandwrittenLibrary builds a hand-tuned riscv rule library, the
+// "Handwritten" baseline of the Table 1 run for this target: canonical
+// single-node rules, the I-type immediate forms, offset loads/stores,
+// the branch relations, conditional select, and the Zbb idioms
+// (andn/orn/xnor, min/max, rotates). Like a real RISC-V backend it has
+// no fused memory operands and no scaled addressing to exploit — the
+// cheap tricks live in the immediate forms and Zbb.
+func HandwrittenLibrary(width int) *pattern.Library {
+	lib := &pattern.Library{Width: width}
+	V, I, M := sem.KindValue, sem.KindImm, sem.KindMem
+	commutative := map[string]bool{"Add": true, "And": true, "Or": true, "Eor": true}
+
+	// --- single-node register rules ---
+	for _, bp := range []struct {
+		irOp, goal string
+		cost       int
+	}{
+		{"Add", "add", 1}, {"Sub", "sub", 1}, {"Mul", "mul", 3},
+		{"And", "and", 1}, {"Or", "or", 1}, {"Eor", "xor", 1},
+		{"Shl", "sll", 1}, {"Shr", "srl", 1}, {"Shrs", "sra", 1},
+	} {
+		b := newPB(V, V)
+		r := b.node(bp.irOp, nil, arg(0), arg(1))
+		lib.Add(b.rule(bp.goal, bp.cost, r))
+	}
+	for _, up := range []struct{ irOp, goal string }{
+		{"Minus", "neg"}, {"Not", "not"},
+	} {
+		b := newPB(V)
+		r := b.node(up.irOp, nil, arg(0))
+		lib.Add(b.rule(up.goal, 1, r))
+	}
+
+	// --- I-type immediate forms (both operand orders for commutative
+	// ops; ImmOK keeps out-of-range constants on the register path) ---
+	for _, bp := range []struct{ irOp, goal string }{
+		{"Add", "addi"}, {"And", "andi"}, {"Or", "ori"}, {"Eor", "xori"},
+		{"Shl", "slli"}, {"Shr", "srli"}, {"Shrs", "srai"},
+	} {
+		b := newPB(V, I)
+		r := b.node(bp.irOp, nil, arg(0), arg(1))
+		lib.Add(b.rule(bp.goal, 1, r))
+		if commutative[bp.irOp] {
+			b = newPB(V, I)
+			r = b.node(bp.irOp, nil, arg(1), arg(0))
+			lib.Add(b.rule(bp.goal, 1, r))
+		}
+	}
+
+	// --- loads and stores: zero-offset and immediate-offset ---
+	{
+		b := newPB(M, V)
+		ld := b.node("Load", nil, arg(0), arg(1))
+		lib.Add(b.rule("lw", 2, resultOf(ld, 0), resultOf(ld, 1)))
+		b = newPB(M, V, V)
+		st := b.node("Store", nil, arg(0), arg(1), arg(2))
+		lib.Add(b.rule("sw", 2, st))
+	}
+	{
+		b := newPB(M, V, I)
+		addr := b.node("Add", nil, arg(1), arg(2))
+		ld := b.node("Load", nil, arg(0), addr)
+		lib.Add(b.rule("lw.i", 2, resultOf(ld, 0), resultOf(ld, 1)))
+		b = newPB(M, V, I, V)
+		addr = b.node("Add", nil, arg(1), arg(2))
+		st := b.node("Store", nil, arg(0), addr, arg(3))
+		lib.Add(b.rule("sw.i", 2, st))
+	}
+
+	// --- compare-and-branch per relation ---
+	for rel, goal := range branchRels {
+		b := newPB(V, V)
+		r := b.node("Cmp", []uint64{uint64(rel)}, arg(0), arg(1))
+		lib.Add(b.rule(goal, 1, r))
+	}
+
+	// --- conditional select (3-cycle pseudo; see Select) ---
+	{
+		b := newPB(sem.KindBool, V, V)
+		r := b.node("Mux", nil, arg(0), arg(1), arg(2))
+		lib.Add(b.rule("select", 3, r))
+	}
+
+	// --- Zbb idioms ---
+	{
+		b := newPB(V, V)
+		r := b.node("And", nil, arg(0), b.node("Not", nil, arg(1)))
+		lib.Add(b.rule("andn", 1, r))
+		b = newPB(V, V)
+		r = b.node("Or", nil, arg(0), b.node("Not", nil, arg(1)))
+		lib.Add(b.rule("orn", 1, r))
+		b = newPB(V, V)
+		r = b.node("Not", nil, b.node("Eor", nil, arg(0), arg(1)))
+		lib.Add(b.rule("xnor", 1, r))
+	}
+	for _, mp := range []struct {
+		rel  int
+		goal string
+	}{
+		{ir.RelSlt, "min"}, {ir.RelSgt, "max"},
+		{ir.RelUlt, "minu"}, {ir.RelUgt, "maxu"},
+	} {
+		b := newPB(V, V)
+		cmp := b.node("Cmp", []uint64{uint64(mp.rel)}, arg(0), arg(1))
+		r := b.node("Mux", nil, cmp, arg(0), arg(1))
+		lib.Add(b.rule(mp.goal, 1, r))
+	}
+	// Variable-count rotates: or(shl(x,c), shr(x, W−c)) and its mirror.
+	{
+		b := newPB(V, V)
+		shl := b.node("Shl", nil, arg(0), arg(1))
+		wc := b.node("Sub", nil, b.node("Const", []uint64{uint64(width)}), arg(1))
+		shr := b.node("Shr", nil, arg(0), wc)
+		or := b.node("Or", nil, shl, shr)
+		lib.Add(b.rule("rol", 1, or))
+
+		b = newPB(V, V)
+		shr = b.node("Shr", nil, arg(0), arg(1))
+		wc = b.node("Sub", nil, b.node("Const", []uint64{uint64(width)}), arg(1))
+		shl = b.node("Shl", nil, arg(0), wc)
+		or = b.node("Or", nil, shr, shl)
+		lib.Add(b.rule("ror", 1, or))
+	}
+
+	return lib
+}

@@ -1,0 +1,558 @@
+// Package riscv defines semantic models (sem.Instr) for a RISC-style
+// load/store target modeled on the RV32I base integer ISA with the M
+// (multiply) and Zbb (basic bit-manipulation) extensions. It is the
+// second backend of this reproduction and deliberately stresses the
+// encodings x86 does not:
+//
+//   - load/store architecture: only lw/sw touch memory, with
+//     register-indirect or register+immediate-offset addressing — no
+//     scaled index modes and no fused memory operands on ALU
+//     instructions;
+//   - no flags register: comparisons never set hidden state. The
+//     branch goals (beq, bne, blt, ...) compare two registers directly
+//     and produce the branch-taken predicate, and conditional select is
+//     a costed pseudo-instruction rather than a one-cycle cmov;
+//   - register+immediate forms carry sign-extended 12-bit immediates
+//     (addi, andi, ori, xori, lw/sw offsets) or unsigned shamt fields
+//     (slli, srli, srai).
+//
+// Immediate encodability is an ISA property, not a semantic one: the
+// models are total over the word (the assembler hands the semantics the
+// already-sign-extended word value), and each immediate form declares
+// which constants its encoding can carry via sem.Instr.ImmOK. The
+// instruction selector consults ImmOK when binding a constant, so a
+// constant outside the range falls back to li + the register form —
+// exactly what a real RISC-V assembler/backend does.
+//
+// All models are parametric in the word width W, like internal/x86. At
+// widths below 12 bits the I-immediate field scales down to W−2 bits
+// (see ImmBits) so the "most constants fit, some must be materialized"
+// tension survives in the scaled-down models the tests run at W = 8.
+//
+// The package imports no x86-specific code; both targets meet only at
+// the shared sem/bv interfaces, which is the point of the exercise
+// (synthesis is driven by semantics, not by a target-shaped pipeline).
+package riscv
+
+import (
+	"selgen/internal/bv"
+	"selgen/internal/sem"
+)
+
+// ImmBits returns the width of the sign-extended I-type immediate
+// field at word width w: the architectural 12 bits when the word is
+// wide enough, otherwise w−2 (so the field is a strict subset of the
+// word and immediate legality stays a real constraint in scaled-down
+// test configurations).
+func ImmBits(w int) int {
+	if w >= 12 {
+		return 12
+	}
+	return w - 2
+}
+
+// FitsSImm reports whether v (a word value at width w) is encodable as
+// a sign-extended ImmBits(w)-bit immediate: v must equal the
+// sign-extension of its own low immediate-field bits.
+func FitsSImm(v uint64, w int) bool {
+	bits := ImmBits(w)
+	x := v & bv.Mask(w)
+	low := x & bv.Mask(bits)
+	if low&(1<<(bits-1)) != 0 {
+		low |= bv.Mask(w) &^ bv.Mask(bits) // sign-extend to w
+	}
+	return low == x
+}
+
+// FitsShamt reports whether v is encodable in a shift-amount field at
+// width w (shamt is unsigned and must be < w).
+func FitsShamt(v uint64, w int) bool {
+	return v&bv.Mask(w) < uint64(w)
+}
+
+// simmOK is the ImmOK hook shared by the I-type ALU forms and the
+// load/store offset forms.
+func simmOK(arg int, v uint64, w int) bool { return FitsSImm(v, w) }
+
+// shamtOK is the ImmOK hook of the immediate shift forms.
+func shamtOK(arg int, v uint64, w int) bool { return FitsShamt(v, w) }
+
+// maskShamt masks a register shift count modulo W: RV32/RV64 shifts
+// use only the low log2(W) bits of rs2.
+func maskShamt(ctx *sem.Ctx, c *bv.Term) *bv.Term {
+	return ctx.B.BvAnd(c, ctx.B.Const(uint64(ctx.Width-1), ctx.Width))
+}
+
+// reg2 builds an R-type two-register ALU instruction.
+func reg2(name string, cost int, f func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term) *sem.Instr {
+	return &sem.Instr{
+		Name:    name,
+		Args:    []sem.Kind{sem.KindValue, sem.KindValue},
+		Results: []sem.Kind{sem.KindValue},
+		Cost:    cost,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{f(ctx, va[0], va[1])}}
+		},
+	}
+}
+
+// reg1 builds a one-register instruction (the pseudo-instruction
+// unaries mv/not/neg expand to a single R/I-type instruction each).
+func reg1(name string, cost int, f func(ctx *sem.Ctx, x *bv.Term) *bv.Term) *sem.Instr {
+	return &sem.Instr{
+		Name:    name,
+		Args:    []sem.Kind{sem.KindValue},
+		Results: []sem.Kind{sem.KindValue},
+		Cost:    cost,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{f(ctx, va[0])}}
+		},
+	}
+}
+
+// regImm builds an I-type register-immediate instruction; immOK
+// declares which constants the immediate field encodes.
+func regImm(name string, cost int, immOK func(int, uint64, int) bool,
+	f func(ctx *sem.Ctx, x, imm *bv.Term) *bv.Term) *sem.Instr {
+	return &sem.Instr{
+		Name:    name,
+		Args:    []sem.Kind{sem.KindValue, sem.KindImm},
+		Results: []sem.Kind{sem.KindValue},
+		Cost:    cost,
+		ImmOK:   immOK,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{f(ctx, va[0], va[1])}}
+		},
+	}
+}
+
+// --- loads and stores (the only memory instructions) ---
+
+// Lw returns lw rd, 0(rs1): M × base → M × Value.
+func Lw() *sem.Instr {
+	return &sem.Instr{
+		Name:    "lw",
+		Args:    []sem.Kind{sem.KindMem, sem.KindValue},
+		Results: []sem.Kind{sem.KindMem, sem.KindValue},
+		Cost:    2,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			mOut, val, valid := ctx.Mem.Ld(va[0], va[1])
+			return sem.Effect{Results: []*bv.Term{mOut, val}, MemOK: valid}
+		},
+	}
+}
+
+// LwImm returns lw rd, simm(rs1): M × base × offset → M × Value. The
+// offset is the I-type sign-extended immediate.
+func LwImm() *sem.Instr {
+	return &sem.Instr{
+		Name:    "lw.i",
+		Args:    []sem.Kind{sem.KindMem, sem.KindValue, sem.KindImm},
+		Results: []sem.Kind{sem.KindMem, sem.KindValue},
+		Cost:    2,
+		ImmOK:   simmOK,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			addr := ctx.B.BvAdd(va[1], va[2])
+			mOut, val, valid := ctx.Mem.Ld(va[0], addr)
+			return sem.Effect{Results: []*bv.Term{mOut, val}, MemOK: valid}
+		},
+	}
+}
+
+// Sw returns sw rs2, 0(rs1): M × base × value → M.
+func Sw() *sem.Instr {
+	return &sem.Instr{
+		Name:    "sw",
+		Args:    []sem.Kind{sem.KindMem, sem.KindValue, sem.KindValue},
+		Results: []sem.Kind{sem.KindMem},
+		Cost:    2,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			mOut, valid := ctx.Mem.St(va[0], va[1], va[2])
+			return sem.Effect{Results: []*bv.Term{mOut}, MemOK: valid}
+		},
+	}
+}
+
+// SwImm returns sw rs2, simm(rs1): M × base × offset × value → M.
+func SwImm() *sem.Instr {
+	return &sem.Instr{
+		Name:    "sw.i",
+		Args:    []sem.Kind{sem.KindMem, sem.KindValue, sem.KindImm, sem.KindValue},
+		Results: []sem.Kind{sem.KindMem},
+		Cost:    2,
+		ImmOK:   simmOK,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			addr := ctx.B.BvAdd(va[1], va[2])
+			mOut, valid := ctx.Mem.St(va[0], addr, va[3])
+			return sem.Effect{Results: []*bv.Term{mOut}, MemOK: valid}
+		},
+	}
+}
+
+// Li returns the li rd, imm pseudo-instruction: it materializes any
+// word constant (the assembler expands it to lui+addi when needed), so
+// its immediate carries no encoding restriction.
+func Li() *sem.Instr {
+	return &sem.Instr{
+		Name:    "li",
+		Args:    []sem.Kind{sem.KindImm},
+		Results: []sem.Kind{sem.KindValue},
+		Cost:    1,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{va[0]}}
+		},
+	}
+}
+
+// --- R-type ALU group ---
+
+// Add returns add rd, rs1, rs2.
+func Add() *sem.Instr {
+	return reg2("add", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvAdd(x, y) })
+}
+
+// Sub returns sub rd, rs1, rs2.
+func Sub() *sem.Instr {
+	return reg2("sub", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvSub(x, y) })
+}
+
+// And returns and rd, rs1, rs2.
+func And() *sem.Instr {
+	return reg2("and", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvAnd(x, y) })
+}
+
+// Or returns or rd, rs1, rs2.
+func Or() *sem.Instr {
+	return reg2("or", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvOr(x, y) })
+}
+
+// Xor returns xor rd, rs1, rs2.
+func Xor() *sem.Instr {
+	return reg2("xor", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvXor(x, y) })
+}
+
+// Sll returns sll rd, rs1, rs2 (count masked mod W).
+func Sll() *sem.Instr {
+	return reg2("sll", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvShl(x, maskShamt(ctx, y))
+	})
+}
+
+// Srl returns srl rd, rs1, rs2 (count masked mod W).
+func Srl() *sem.Instr {
+	return reg2("srl", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvLshr(x, maskShamt(ctx, y))
+	})
+}
+
+// Sra returns sra rd, rs1, rs2 (count masked mod W).
+func Sra() *sem.Instr {
+	return reg2("sra", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvAshr(x, maskShamt(ctx, y))
+	})
+}
+
+// Mul returns mul rd, rs1, rs2 (M extension, truncating multiply).
+func Mul() *sem.Instr {
+	return reg2("mul", 3, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term { return ctx.B.BvMul(x, y) })
+}
+
+// Neg returns the neg rd, rs pseudo-instruction (sub rd, x0, rs).
+func Neg() *sem.Instr {
+	return reg1("neg", 1, func(ctx *sem.Ctx, x *bv.Term) *bv.Term { return ctx.B.BvNeg(x) })
+}
+
+// Not returns the not rd, rs pseudo-instruction (xori rd, rs, -1).
+func Not() *sem.Instr {
+	return reg1("not", 1, func(ctx *sem.Ctx, x *bv.Term) *bv.Term { return ctx.B.BvNot(x) })
+}
+
+// --- I-type immediate forms (sign-extended 12-bit immediates) ---
+
+// Addi returns addi rd, rs1, simm.
+func Addi() *sem.Instr {
+	return regImm("addi", 1, simmOK, func(ctx *sem.Ctx, x, imm *bv.Term) *bv.Term {
+		return ctx.B.BvAdd(x, imm)
+	})
+}
+
+// Andi returns andi rd, rs1, simm.
+func Andi() *sem.Instr {
+	return regImm("andi", 1, simmOK, func(ctx *sem.Ctx, x, imm *bv.Term) *bv.Term {
+		return ctx.B.BvAnd(x, imm)
+	})
+}
+
+// Ori returns ori rd, rs1, simm.
+func Ori() *sem.Instr {
+	return regImm("ori", 1, simmOK, func(ctx *sem.Ctx, x, imm *bv.Term) *bv.Term {
+		return ctx.B.BvOr(x, imm)
+	})
+}
+
+// Xori returns xori rd, rs1, simm.
+func Xori() *sem.Instr {
+	return regImm("xori", 1, simmOK, func(ctx *sem.Ctx, x, imm *bv.Term) *bv.Term {
+		return ctx.B.BvXor(x, imm)
+	})
+}
+
+// Slli returns slli rd, rs1, shamt (unsigned shamt < W).
+func Slli() *sem.Instr {
+	return regImm("slli", 1, shamtOK, func(ctx *sem.Ctx, x, imm *bv.Term) *bv.Term {
+		return ctx.B.BvShl(x, maskShamt(ctx, imm))
+	})
+}
+
+// Srli returns srli rd, rs1, shamt.
+func Srli() *sem.Instr {
+	return regImm("srli", 1, shamtOK, func(ctx *sem.Ctx, x, imm *bv.Term) *bv.Term {
+		return ctx.B.BvLshr(x, maskShamt(ctx, imm))
+	})
+}
+
+// Srai returns srai rd, rs1, shamt.
+func Srai() *sem.Instr {
+	return regImm("srai", 1, shamtOK, func(ctx *sem.Ctx, x, imm *bv.Term) *bv.Term {
+		return ctx.B.BvAshr(x, maskShamt(ctx, imm))
+	})
+}
+
+// --- branches (no flags register: compare-and-branch on registers) ---
+
+// Rel is a branch comparison relation.
+type Rel int
+
+// Branch relations: the six architectural compare-and-branch forms
+// plus the four assembler pseudo forms (bgt/ble/bgtu/bleu encode as
+// the mirrored blt/bge/bltu/bgeu with swapped operands — still one
+// instruction, so same cost).
+const (
+	RelEq Rel = iota
+	RelNe
+	RelLt
+	RelGe
+	RelLtu
+	RelGeu
+	RelGt
+	RelLe
+	RelGtu
+	RelLeu
+	// NumRel bounds the enumeration.
+	NumRel
+)
+
+var relNames = []string{"eq", "ne", "lt", "ge", "ltu", "geu", "gt", "le", "gtu", "leu"}
+
+func (r Rel) String() string { return relNames[r] }
+
+// holds returns the truth of the relation over (x, y).
+func (r Rel) holds(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+	b := ctx.B
+	switch r {
+	case RelEq:
+		return b.Eq(x, y)
+	case RelNe:
+		return b.Not(b.Eq(x, y))
+	case RelLt:
+		return b.Slt(x, y)
+	case RelGe:
+		return b.Sle(y, x)
+	case RelLtu:
+		return b.Ult(x, y)
+	case RelGeu:
+		return b.Ule(y, x)
+	case RelGt:
+		return b.Slt(y, x)
+	case RelLe:
+		return b.Sle(x, y)
+	case RelGtu:
+		return b.Ult(y, x)
+	case RelLeu:
+		return b.Ule(x, y)
+	}
+	panic("riscv: bad branch relation")
+}
+
+// Branch returns the compare-and-branch goal b<rel> rs1, rs2, label:
+// its single boolean result is the branch-taken predicate (the same
+// shape as the x86 cmp.jcc goals, but over two registers with no
+// intervening flags state).
+func Branch(r Rel) *sem.Instr {
+	return &sem.Instr{
+		Name:    "b" + r.String(),
+		Args:    []sem.Kind{sem.KindValue, sem.KindValue},
+		Results: []sem.Kind{sem.KindBool},
+		Cost:    1,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{r.holds(ctx, va[0], va[1])}}
+		},
+	}
+}
+
+// J returns the unconditional jump goal: one always-true boolean.
+func J() *sem.Instr {
+	return &sem.Instr{
+		Name:    "j",
+		Args:    nil,
+		Results: []sem.Kind{sem.KindBool},
+		Cost:    1,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{ctx.B.BoolConst(true)}}
+		},
+	}
+}
+
+// Select returns the conditional-select pseudo-instruction
+// select rd, cond, rs1, rs2. The base ISA has no conditional move; a
+// backend lowers select to the Zicond pair czero.nez+czero.eqz+or or a
+// branch diamond, so it costs 3 cycles — selects are genuinely more
+// expensive here than x86's 2-cycle cmov, which is exactly the kind of
+// cost-structure difference cross-ISA synthesis must surface.
+func Select() *sem.Instr {
+	return &sem.Instr{
+		Name:    "select",
+		Args:    []sem.Kind{sem.KindBool, sem.KindValue, sem.KindValue},
+		Results: []sem.Kind{sem.KindValue},
+		Cost:    3,
+		Sem: func(ctx *sem.Ctx, va, vi []*bv.Term) sem.Effect {
+			return sem.Effect{Results: []*bv.Term{ctx.B.Ite(va[0], va[1], va[2])}}
+		},
+	}
+}
+
+// --- Zbb group (basic bit manipulation) ---
+
+// Andn returns andn rd, rs1, rs2: rs1 & ~rs2. Note the operand order
+// differs from x86's andn (~rs1 & rs2) — a real cross-ISA quirk the
+// synthesized patterns must capture.
+func Andn() *sem.Instr {
+	return reg2("andn", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvAnd(x, ctx.B.BvNot(y))
+	})
+}
+
+// Orn returns orn rd, rs1, rs2: rs1 | ~rs2.
+func Orn() *sem.Instr {
+	return reg2("orn", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvOr(x, ctx.B.BvNot(y))
+	})
+}
+
+// Xnor returns xnor rd, rs1, rs2: ~(rs1 ^ rs2).
+func Xnor() *sem.Instr {
+	return reg2("xnor", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.BvNot(ctx.B.BvXor(x, y))
+	})
+}
+
+// Min returns min rd, rs1, rs2 (signed minimum).
+func Min() *sem.Instr {
+	return reg2("min", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.Ite(ctx.B.Slt(x, y), x, y)
+	})
+}
+
+// Max returns max rd, rs1, rs2 (signed maximum).
+func Max() *sem.Instr {
+	return reg2("max", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.Ite(ctx.B.Slt(y, x), x, y)
+	})
+}
+
+// Minu returns minu rd, rs1, rs2 (unsigned minimum).
+func Minu() *sem.Instr {
+	return reg2("minu", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.Ite(ctx.B.Ult(x, y), x, y)
+	})
+}
+
+// Maxu returns maxu rd, rs1, rs2 (unsigned maximum).
+func Maxu() *sem.Instr {
+	return reg2("maxu", 1, func(ctx *sem.Ctx, x, y *bv.Term) *bv.Term {
+		return ctx.B.Ite(ctx.B.Ult(y, x), x, y)
+	})
+}
+
+// Rol returns rol rd, rs1, rs2 (Zbb rotate left, count masked mod W).
+func Rol() *sem.Instr { return reg2("rol", 1, rotl) }
+
+// Ror returns ror rd, rs1, rs2 (Zbb rotate right).
+func Ror() *sem.Instr { return reg2("ror", 1, rotr) }
+
+func rotl(ctx *sem.Ctx, x, c *bv.Term) *bv.Term {
+	b := ctx.B
+	w := b.Const(uint64(ctx.Width), ctx.Width)
+	cm := maskShamt(ctx, c)
+	l := b.BvShl(x, cm)
+	r := b.BvLshr(x, b.BvAnd(b.BvSub(w, cm), b.Const(uint64(ctx.Width-1), ctx.Width)))
+	return b.BvOr(l, r)
+}
+
+func rotr(ctx *sem.Ctx, x, c *bv.Term) *bv.Term {
+	b := ctx.B
+	w := b.Const(uint64(ctx.Width), ctx.Width)
+	cm := maskShamt(ctx, c)
+	r := b.BvLshr(x, cm)
+	l := b.BvShl(x, b.BvAnd(b.BvSub(w, cm), b.Const(uint64(ctx.Width-1), ctx.Width)))
+	return b.BvOr(r, l)
+}
+
+// --- groups and registry ---
+
+// Branches returns all ten compare-and-branch goals plus j.
+func Branches() []*sem.Instr {
+	goals := []*sem.Instr{J()}
+	for r := RelEq; r < NumRel; r++ {
+		goals = append(goals, Branch(r))
+	}
+	return goals
+}
+
+// BasicGroup returns the base-ISA register goals: loads/stores at zero
+// offset, li, the R-type ALU group, the unary pseudos, select, and the
+// branches.
+func BasicGroup() []*sem.Instr {
+	goals := []*sem.Instr{
+		Lw(), Sw(), Li(),
+		Add(), Sub(), And(), Or(), Xor(),
+		Sll(), Srl(), Sra(), Mul(),
+		Neg(), Not(), Select(),
+	}
+	return append(goals, Branches()...)
+}
+
+// ImmGroup returns the I-type immediate forms and the offset
+// load/store forms.
+func ImmGroup() []*sem.Instr {
+	return []*sem.Instr{
+		Addi(), Andi(), Ori(), Xori(),
+		Slli(), Srli(), Srai(),
+		LwImm(), SwImm(),
+	}
+}
+
+// ZbbGroup returns the Zbb bit-manipulation goals.
+func ZbbGroup() []*sem.Instr {
+	return []*sem.Instr{
+		Andn(), Orn(), Xnor(),
+		Min(), Max(), Minu(), Maxu(),
+		Rol(), Ror(),
+	}
+}
+
+// Registry returns every machine instruction this package models,
+// keyed by name. Used by the instruction selector and simulator to
+// resolve rule-library goal names back to semantic models.
+func Registry() map[string]*sem.Instr {
+	reg := make(map[string]*sem.Instr)
+	add := func(ins ...*sem.Instr) {
+		for _, in := range ins {
+			reg[in.Name] = in
+		}
+	}
+	add(BasicGroup()...)
+	add(ImmGroup()...)
+	add(ZbbGroup()...)
+	return reg
+}

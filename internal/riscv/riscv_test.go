@@ -1,0 +1,272 @@
+package riscv
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"selgen/internal/bv"
+	"selgen/internal/sem"
+)
+
+const w = 8
+
+func evalReg2(t *testing.T, in *sem.Instr, x, y uint64) uint64 {
+	t.Helper()
+	b := bv.NewBuilder()
+	ctx := &sem.Ctx{B: b, Width: w}
+	eff := in.Apply(ctx, []*bv.Term{b.Const(x, w), b.Const(y, w)}, nil)
+	return bv.Eval(eff.Results[0], nil)
+}
+
+func evalReg1(t *testing.T, in *sem.Instr, x uint64) uint64 {
+	t.Helper()
+	b := bv.NewBuilder()
+	ctx := &sem.Ctx{B: b, Width: w}
+	eff := in.Apply(ctx, []*bv.Term{b.Const(x, w)}, nil)
+	return bv.Eval(eff.Results[0], nil)
+}
+
+func TestImmBits(t *testing.T) {
+	for _, c := range []struct{ w, want int }{
+		{8, 6}, {11, 9}, {12, 12}, {16, 12}, {32, 12}, {64, 12},
+	} {
+		if got := ImmBits(c.w); got != c.want {
+			t.Errorf("ImmBits(%d) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestFitsSImm(t *testing.T) {
+	// At w=8, ImmBits is 6: encodable range is [-32, 31] as word values.
+	for _, c := range []struct {
+		v    uint64
+		want bool
+	}{
+		{0, true}, {1, true}, {31, true},
+		{32, false}, {0x7f, false}, {0x80, false},
+		{0xff, true},  // -1
+		{0xe0, true},  // -32
+		{0xdf, false}, // -33
+	} {
+		if got := FitsSImm(c.v, w); got != c.want {
+			t.Errorf("FitsSImm(%#x, %d) = %v, want %v", c.v, w, got, c.want)
+		}
+	}
+	// At the architectural width the field is the full 12 bits.
+	if !FitsSImm(2047, 32) || FitsSImm(2048, 32) {
+		t.Errorf("12-bit boundary wrong at w=32")
+	}
+	if !FitsSImm(0xffff_f800, 32) || FitsSImm(0xffff_f7ff, 32) {
+		t.Errorf("negative 12-bit boundary wrong at w=32")
+	}
+}
+
+func TestFitsShamt(t *testing.T) {
+	if !FitsShamt(0, w) || !FitsShamt(7, w) {
+		t.Errorf("in-range shamt rejected")
+	}
+	if FitsShamt(8, w) || FitsShamt(0xff, w) {
+		t.Errorf("out-of-range shamt accepted")
+	}
+}
+
+func TestALUSemantics(t *testing.T) {
+	if evalReg2(t, Add(), 200, 100) != 44 {
+		t.Errorf("add wraps")
+	}
+	if evalReg2(t, Sub(), 5, 7) != 254 {
+		t.Errorf("sub wraps")
+	}
+	if evalReg2(t, And(), 0xf0, 0x3c) != 0x30 {
+		t.Errorf("and")
+	}
+	if evalReg2(t, Or(), 0xf0, 0x0f) != 0xff {
+		t.Errorf("or")
+	}
+	if evalReg2(t, Xor(), 0xff, 0x0f) != 0xf0 {
+		t.Errorf("xor")
+	}
+	if evalReg2(t, Mul(), 20, 13) != 4 {
+		t.Errorf("mul truncates")
+	}
+	if evalReg1(t, Neg(), 1) != 255 {
+		t.Errorf("neg")
+	}
+	if evalReg1(t, Not(), 0x0f) != 0xf0 {
+		t.Errorf("not")
+	}
+}
+
+func TestShiftCountMasking(t *testing.T) {
+	// RISC-V shifts use only the low log2(W) bits of rs2.
+	if evalReg2(t, Sll(), 0x5a, 8) != 0x5a {
+		t.Errorf("sll by W must be identity (count masked)")
+	}
+	if evalReg2(t, Srl(), 0x5a, 16) != 0x5a {
+		t.Errorf("srl by 2W must be identity")
+	}
+	if evalReg2(t, Sra(), 0x80, 7) != 0xff {
+		t.Errorf("sra sign fill")
+	}
+	if evalReg2(t, Sll(), 1, 7) != 0x80 {
+		t.Errorf("plain sll")
+	}
+}
+
+func TestImmediateFormsAgreeWithRegisterForms(t *testing.T) {
+	// For every encodable immediate, the I-type form must compute the
+	// same function as its R-type counterpart.
+	pairs := []struct{ r, i *sem.Instr }{
+		{Add(), Addi()}, {And(), Andi()}, {Or(), Ori()}, {Xor(), Xori()},
+		{Sll(), Slli()}, {Srl(), Srli()}, {Sra(), Srai()},
+	}
+	for _, p := range pairs {
+		for x := uint64(0); x < 256; x += 13 {
+			for v := uint64(0); v < 256; v++ {
+				if p.i.ImmOK == nil || !p.i.ImmOK(1, v, w) {
+					continue
+				}
+				if got, want := evalReg2(t, p.i, x, v), evalReg2(t, p.r, x, v); got != want {
+					t.Fatalf("%s(%#x, %#x) = %#x, want %s = %#x", p.i.Name, x, v, got, p.r.Name, want)
+				}
+			}
+		}
+	}
+}
+
+func TestZbbSemantics(t *testing.T) {
+	// riscv andn is rs1 & ~rs2 (x86's BMI andn is ~rs1 & rs2).
+	if evalReg2(t, Andn(), 0xff, 0x0f) != 0xf0 {
+		t.Errorf("andn operand order")
+	}
+	if evalReg2(t, Orn(), 0x0f, 0xf0) != 0x0f|0x0f {
+		t.Errorf("orn")
+	}
+	if evalReg2(t, Xnor(), 0xff, 0x0f) != 0x0f {
+		t.Errorf("xnor")
+	}
+	if evalReg2(t, Min(), 0x80, 1) != 0x80 { // -128 < 1 signed
+		t.Errorf("min is signed")
+	}
+	if evalReg2(t, Max(), 0x80, 1) != 1 {
+		t.Errorf("max is signed")
+	}
+	if evalReg2(t, Minu(), 0x80, 1) != 1 {
+		t.Errorf("minu is unsigned")
+	}
+	if evalReg2(t, Maxu(), 0x80, 1) != 0x80 {
+		t.Errorf("maxu is unsigned")
+	}
+}
+
+func TestRotates(t *testing.T) {
+	f := func(x uint8, c uint8) bool {
+		want := uint64(bits.RotateLeft8(x, int(c)))
+		if evalReg2(t, Rol(), uint64(x), uint64(c)) != want {
+			return false
+		}
+		wantR := uint64(bits.RotateLeft8(x, -int(c)))
+		return evalReg2(t, Ror(), uint64(x), uint64(c)) == wantR
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchRelations(t *testing.T) {
+	evalBranch := func(r Rel, x, y uint64) bool {
+		b := bv.NewBuilder()
+		ctx := &sem.Ctx{B: b, Width: w}
+		eff := Branch(r).Apply(ctx, []*bv.Term{b.Const(x, w), b.Const(y, w)}, nil)
+		return bv.Eval(eff.Results[0], nil) != 0
+	}
+	sext := func(v uint64) int64 { return int64(int8(v)) }
+	f := func(x, y uint8) bool {
+		xv, yv := uint64(x), uint64(y)
+		checks := []struct {
+			r    Rel
+			want bool
+		}{
+			{RelEq, x == y}, {RelNe, x != y},
+			{RelLt, sext(xv) < sext(yv)}, {RelGe, sext(xv) >= sext(yv)},
+			{RelLtu, x < y}, {RelGeu, x >= y},
+			{RelGt, sext(xv) > sext(yv)}, {RelLe, sext(xv) <= sext(yv)},
+			{RelGtu, x > y}, {RelLeu, x <= y},
+		}
+		for _, c := range checks {
+			if evalBranch(c.r, xv, yv) != c.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	b := bv.NewBuilder()
+	ctx := &sem.Ctx{B: b, Width: w}
+	sel := Select()
+	eff := sel.Apply(ctx, []*bv.Term{b.BoolConst(true), b.Const(7, w), b.Const(9, w)}, nil)
+	if bv.Eval(eff.Results[0], nil) != 7 {
+		t.Errorf("select true")
+	}
+	eff = sel.Apply(ctx, []*bv.Term{b.BoolConst(false), b.Const(7, w), b.Const(9, w)}, nil)
+	if bv.Eval(eff.Results[0], nil) != 9 {
+		t.Errorf("select false")
+	}
+	if sel.CostOrDefault() != 3 {
+		t.Errorf("select must be costlier than a cmov-style 2-cycle move")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, name := range []string{
+		"lw", "sw", "lw.i", "sw.i", "li",
+		"add", "sub", "and", "or", "xor", "sll", "srl", "sra", "mul",
+		"neg", "not", "select", "j",
+		"addi", "andi", "ori", "xori", "slli", "srli", "srai",
+		"beq", "bne", "blt", "bge", "bltu", "bgeu", "bgt", "ble", "bgtu", "bleu",
+		"andn", "orn", "xnor", "min", "max", "minu", "maxu", "rol", "ror",
+	} {
+		if reg[name] == nil {
+			t.Errorf("registry missing %q", name)
+		}
+	}
+	// Encoding constraints ride on the right instructions.
+	for _, name := range []string{"addi", "andi", "ori", "xori", "slli", "srli", "srai", "lw.i", "sw.i"} {
+		if reg[name].ImmOK == nil {
+			t.Errorf("%s must declare an immediate encoding constraint", name)
+		}
+	}
+	for _, name := range []string{"li", "lw", "add"} {
+		if reg[name].ImmOK != nil {
+			t.Errorf("%s must not restrict immediates", name)
+		}
+	}
+}
+
+func TestHandwrittenLibraryRulesResolve(t *testing.T) {
+	reg := Registry()
+	lib := HandwrittenLibrary(w)
+	if len(lib.Rules) == 0 {
+		t.Fatal("empty handwritten library")
+	}
+	for _, r := range lib.Rules {
+		g := reg[r.Goal]
+		if g == nil {
+			t.Errorf("rule goal %q not in registry", r.Goal)
+			continue
+		}
+		if r.GoalCost != g.CostOrDefault() {
+			t.Errorf("rule for %q carries GoalCost %d, registry says %d", r.Goal, r.GoalCost, g.CostOrDefault())
+		}
+		if len(r.Pattern.ArgKinds) != len(g.Args) {
+			t.Errorf("rule for %q has %d args, goal wants %d", r.Goal, len(r.Pattern.ArgKinds), len(g.Args))
+		}
+	}
+}

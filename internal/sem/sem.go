@@ -127,6 +127,14 @@ type Instr struct {
 	// Cost is the instruction-selection cost (used by the code
 	// generator and the cycle simulator); zero means 1.
 	Cost int
+	// ImmOK, when non-nil, reports whether the word value v is
+	// encodable in the immediate field of argument arg at word width w
+	// (e.g. RISC-V's sign-extended 12-bit I-immediates or unsigned
+	// shamt fields). It is an encoding constraint, not a semantic one:
+	// Sem stays total over the word, and the instruction selector
+	// consults ImmOK before binding a constant to the operand. Nil
+	// means every word constant is encodable (the x86 models).
+	ImmOK func(arg int, v uint64, w int) bool
 }
 
 // HasKind reports whether any argument or result has the given kind.

@@ -1,0 +1,109 @@
+// Package target names the machine backends the synthesis pipeline can
+// drive and bundles, per backend, everything downstream stages need
+// that is not derivable from the rule library itself: the goal
+// registry, the per-node fallback translation, and the hand-tuned
+// baseline library for the Table 1 comparison.
+//
+// The synthesis core (cegis, driver, isel, pattern) never imports a
+// backend package directly; it receives a *Target and stays
+// ISA-agnostic. Adding a backend means writing its sem.Instr models and
+// registering it here.
+package target
+
+import (
+	"fmt"
+	"sort"
+
+	"selgen/internal/ir"
+	"selgen/internal/isel"
+	"selgen/internal/pattern"
+	"selgen/internal/riscv"
+	"selgen/internal/sem"
+	"selgen/internal/x86"
+)
+
+// Target is one machine backend.
+type Target struct {
+	// Name is the CLI / config-hash identifier ("x86", "riscv").
+	Name string
+	// Goals resolves rule-library goal names to semantic models.
+	Goals map[string]*sem.Instr
+	// Fallback is the per-node IR→instruction translation used for
+	// operations the rule library does not cover.
+	Fallback *isel.FallbackMap
+	// Handwritten builds the hand-tuned baseline library at the given
+	// word width (the "Handwritten" row of Table 1).
+	Handwritten func(width int) *pattern.Library
+}
+
+// NewSelector builds an instruction selector over lib wired with this
+// target's registry and fallback table.
+func (t *Target) NewSelector(lib *pattern.Library, fallback bool) *isel.Selector {
+	s := isel.New(lib, t.Goals, fallback)
+	s.FB = t.Fallback
+	return s
+}
+
+// X86 returns the CISC backend (the original target of this repo).
+func X86() *Target {
+	return &Target{
+		Name:        "x86",
+		Goals:       x86.Registry(),
+		Fallback:    isel.X86Fallback(),
+		Handwritten: isel.HandwrittenLibrary,
+	}
+}
+
+// RiscV returns the RISC-style load/store backend.
+func RiscV() *Target {
+	return &Target{
+		Name:  "riscv",
+		Goals: riscv.Registry(),
+		Fallback: &isel.FallbackMap{
+			Direct: map[string]string{
+				"Add": "add", "Sub": "sub", "Mul": "mul",
+				"And": "and", "Or": "or", "Eor": "xor",
+				"Not": "not", "Minus": "neg",
+				"Shl": "sll", "Shr": "srl", "Shrs": "sra",
+				"Load": "lw", "Store": "sw",
+				"Mux": "select",
+			},
+			Cmp: map[int]string{
+				ir.RelEq: "beq", ir.RelNe: "bne",
+				ir.RelSlt: "blt", ir.RelSle: "ble",
+				ir.RelSgt: "bgt", ir.RelSge: "bge",
+				ir.RelUlt: "bltu", ir.RelUle: "bleu",
+				ir.RelUgt: "bgtu", ir.RelUge: "bgeu",
+			},
+			Const: "li",
+		},
+		Handwritten: riscv.HandwrittenLibrary,
+	}
+}
+
+// ByName resolves a target name; the empty string means x86 (the
+// historical default, so old journals and configs keep their meaning).
+func ByName(name string) (*Target, error) {
+	switch Normalize(name) {
+	case "x86":
+		return X86(), nil
+	case "riscv":
+		return RiscV(), nil
+	}
+	return nil, fmt.Errorf("target: unknown target %q (have %v)", name, Names())
+}
+
+// Normalize canonicalizes a target name ("" → "x86").
+func Normalize(name string) string {
+	if name == "" {
+		return "x86"
+	}
+	return name
+}
+
+// Names lists the known target names, sorted.
+func Names() []string {
+	names := []string{"x86", "riscv"}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,86 @@
+package target
+
+import (
+	"strings"
+	"testing"
+
+	"selgen/internal/ir"
+)
+
+func TestByName(t *testing.T) {
+	for _, c := range []struct{ in, want string }{
+		{"", "x86"}, {"x86", "x86"}, {"riscv", "riscv"},
+	} {
+		tg, err := ByName(c.in)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", c.in, err)
+		}
+		if tg.Name != c.want {
+			t.Errorf("ByName(%q).Name = %q, want %q", c.in, tg.Name, c.want)
+		}
+	}
+	if _, err := ByName("mips"); err == nil {
+		t.Error("ByName must reject unknown targets")
+	}
+}
+
+// Every IR operation the fallback path can meet must resolve to a goal
+// present in the target's registry — otherwise an uncovered node would
+// fail selection at runtime rather than here.
+func TestFallbackResolvesInRegistry(t *testing.T) {
+	for _, name := range Names() {
+		tg, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := tg.Fallback
+		if fb == nil {
+			t.Fatalf("%s: nil fallback", name)
+		}
+		for op, goal := range fb.Direct {
+			if tg.Goals[goal] == nil {
+				t.Errorf("%s: fallback %s → %q not in registry", name, op, goal)
+			}
+		}
+		for rel := ir.RelEq; rel <= ir.RelUge; rel++ {
+			goal, ok := fb.Cmp[rel]
+			if !ok {
+				t.Errorf("%s: no fallback branch for relation %d", name, rel)
+				continue
+			}
+			if tg.Goals[goal] == nil {
+				t.Errorf("%s: fallback Cmp[%d] → %q not in registry", name, rel, goal)
+			}
+		}
+		if tg.Goals[fb.Const] == nil {
+			t.Errorf("%s: fallback Const → %q not in registry", name, fb.Const)
+		}
+	}
+}
+
+// The riscv backend must not lean on anything x86-shaped: its registry
+// and handwritten library may not mention x86 goal names.
+func TestRiscVRegistryIsNotX86Shaped(t *testing.T) {
+	rv := RiscV()
+	for name := range rv.Goals {
+		if strings.HasPrefix(name, "cmp.") || strings.HasPrefix(name, "mov.") ||
+			name == "cmov" || name == "lea" || name == "inc" || name == "dec" {
+			t.Errorf("riscv registry contains x86-shaped goal %q", name)
+		}
+	}
+}
+
+func TestHandwrittenLibrariesBuild(t *testing.T) {
+	for _, name := range Names() {
+		tg, _ := ByName(name)
+		lib := tg.Handwritten(8)
+		if len(lib.Rules) == 0 {
+			t.Errorf("%s: empty handwritten library", name)
+		}
+		for _, r := range lib.Rules {
+			if tg.Goals[r.Goal] == nil {
+				t.Errorf("%s: handwritten rule goal %q not in registry", name, r.Goal)
+			}
+		}
+	}
+}

@@ -28,6 +28,11 @@ type cegisDoc struct {
 		Goal          string  `json:"goal"`
 		IncrementalMS float64 `json:"incremental_ms"`
 	} `json:"goals"`
+	Targets []struct {
+		Target     string  `json:"target"`
+		Rules      int     `json:"rules"`
+		MeanCycles float64 `json:"mean_selected_cycles"`
+	} `json:"targets"`
 }
 
 type iselDoc struct {
@@ -80,9 +85,33 @@ func checkCegis(path string) {
 		report("%s: total incremental_ms regressed %.1f -> %.1f (>%.0f%%)",
 			path, base.IncrementalMS, cur.IncrementalMS, 100**maxRegress)
 	}
-	fmt.Printf("benchdiff: %s incremental_ms %.1f vs baseline %.1f (%+.1f%%)\n",
+	// Per-target rows: a backend present in the baseline must stay, and
+	// its selected-code quality (mean cycles) and library size (rules,
+	// lower is better under cost-optimal synthesis) must not regress.
+	curTargets := map[string]int{}
+	for i, t := range cur.Targets {
+		curTargets[t.Target] = i
+	}
+	for _, bt := range base.Targets {
+		ci, ok := curTargets[bt.Target]
+		if !ok {
+			report("%s: baseline target %q disappeared", path, bt.Target)
+			continue
+		}
+		ct := cur.Targets[ci]
+		if regressed(bt.MeanCycles, ct.MeanCycles) {
+			report("%s: %s mean_selected_cycles regressed %.1f -> %.1f (>%.0f%%)",
+				path, bt.Target, bt.MeanCycles, ct.MeanCycles, 100**maxRegress)
+		}
+		if regressed(float64(bt.Rules), float64(ct.Rules)) {
+			report("%s: %s rules regressed %d -> %d (>%.0f%%)",
+				path, bt.Target, bt.Rules, ct.Rules, 100**maxRegress)
+		}
+	}
+	fmt.Printf("benchdiff: %s incremental_ms %.1f vs baseline %.1f (%+.1f%%); %d targets vs %d baseline targets\n",
 		path, cur.IncrementalMS, base.IncrementalMS,
-		100*(cur.IncrementalMS-base.IncrementalMS)/base.IncrementalMS)
+		100*(cur.IncrementalMS-base.IncrementalMS)/base.IncrementalMS,
+		len(cur.Targets), len(base.Targets))
 }
 
 func checkIsel(path string) {

@@ -21,7 +21,8 @@ go vet ./...
 # run well past go test's default 10m timeout under the race detector,
 # so this pass needs the same widened timeout as the full suite below.
 go test -race -timeout 60m ./internal/sat ./internal/smt ./internal/cegis ./internal/driver \
-	./internal/isel ./internal/pattern ./internal/obs ./internal/telemetry
+	./internal/isel ./internal/pattern ./internal/obs ./internal/telemetry \
+	./internal/riscv ./internal/target
 # the driver tests synthesize libraries and run well past go test's
 # default 10m timeout under the race detector (their per-goal deadlines
 # scale up under race too; see internal/driver scaledTimeout)
@@ -78,6 +79,38 @@ cmp "$tmpdir/resumed.json" "$tmpdir/uninterrupted.json" || {
 	-o "$tmpdir/exhaustive.json" >/dev/null
 go run scripts/comparelibs.go "$tmpdir/uninterrupted.json" "$tmpdir/exhaustive.json"
 go run scripts/validatecegisbench.go BENCH_cegis.json
+
+# Multi-target smoke: the riscv backend synthesizes its quickstart
+# library through the same unchanged pipeline, and both targets'
+# libraries must stay byte-identical to the committed goldens
+# (synthesis is deterministic at fixed flags; when a drift is intended,
+# regenerate testdata/goldens/ in the same commit:
+# go run ./cmd/selgen -target <t> -setup quick -o testdata/goldens/quick_<t>.json).
+"$tmpdir/selgen" -target riscv -setup quick -timeout 2m \
+	-o "$tmpdir/quick_riscv.json" >/dev/null
+cmp "$tmpdir/quick_riscv.json" testdata/goldens/quick_riscv.json || {
+	echo "ci.sh: riscv quickstart library drifted from testdata/goldens/quick_riscv.json" >&2
+	exit 1
+}
+cmp "$tmpdir/uninterrupted.json" testdata/goldens/quick_x86.json || {
+	echo "ci.sh: x86 quickstart library drifted from testdata/goldens/quick_x86.json" >&2
+	exit 1
+}
+
+# External-oracle smoke: every committed QF_BV script must produce the
+# verdict its filename promises through the standalone solver CLI, with
+# the SAT portfolio engaged (the in-process differential against the
+# sequential solver lives in internal/smtlib's external test).
+go build -o "$tmpdir/bvsat" ./cmd/bvsat
+for f in testdata/smtlib/*.smt2; do
+	want="${f##*_}"
+	want="${want%.smt2}"
+	got="$("$tmpdir/bvsat" -sat-workers 2 "$f" | head -n 1)"
+	if [ "$got" != "$want" ]; then
+		echo "ci.sh: $f: bvsat said '$got', filename promises '$want'" >&2
+		exit 1
+	fi
+done
 
 # Bench-trajectory gate: the committed BENCH_*.json must stay within
 # 15% of the committed baselines under scripts/baseline/ on

@@ -34,6 +34,17 @@ type cost struct {
 	RulesDominated     int     `json:"rules_dominated"`
 }
 
+type tgt struct {
+	Target       string  `json:"target"`
+	Rules        int     `json:"rules"`
+	Goals        int     `json:"goals"`
+	QuickGoals   int     `json:"quick_goals"`
+	MeanRuleCost float64 `json:"mean_rule_cost"`
+	Coverage     float64 `json:"coverage"`
+	MeanCycles   float64 `json:"mean_selected_cycles"`
+	SynthMS      float64 `json:"synth_ms"`
+}
+
 type doc struct {
 	Width         int     `json:"width"`
 	Rounds        int     `json:"rounds"`
@@ -42,6 +53,7 @@ type doc struct {
 	FreshMS       float64 `json:"fresh_ms"`
 	Speedup       float64 `json:"speedup"`
 	Cost          cost    `json:"cost"`
+	Targets       []tgt   `json:"targets"`
 }
 
 func fail(format string, args ...any) {
@@ -91,6 +103,39 @@ func main() {
 	if c.DominatedMultisets <= 0 {
 		fail("cost-aware run pruned no multisets — dominance filter inert?")
 	}
-	fmt.Printf("validatecegisbench: ok (%d goals; cost-aware %d rules vs exhaustive %d at %d goals covered; mean rule cost %.2f)\n",
-		len(d.Goals), c.CostAwareRules, c.ExhaustiveRules, c.CostAwareGoals, c.MeanRuleCost)
+	// The per-target section: every registered backend synthesizes its
+	// quickstart goal set to full coverage through the same pipeline.
+	seen := map[string]bool{}
+	for _, t := range d.Targets {
+		if seen[t.Target] {
+			fail("target %q appears twice in targets section", t.Target)
+		}
+		seen[t.Target] = true
+		if t.Rules <= 0 {
+			fail("%s: no rules synthesized: %+v", t.Target, t)
+		}
+		if t.QuickGoals <= 0 || t.Goals != t.QuickGoals {
+			fail("%s: covered %d of %d quickstart goals — every goal must synthesize", t.Target, t.Goals, t.QuickGoals)
+		}
+		if t.MeanRuleCost <= 0 {
+			fail("%s: non-positive mean rule cost %.2f", t.Target, t.MeanRuleCost)
+		}
+		if t.Coverage <= 0 {
+			fail("%s: zero workload coverage", t.Target)
+		}
+		if t.MeanCycles <= 0 {
+			fail("%s: non-positive mean selected cycles %.2f", t.Target, t.MeanCycles)
+		}
+		if t.SynthMS <= 0 {
+			fail("%s: non-positive synthesis time", t.Target)
+		}
+	}
+	for _, want := range []string{"x86", "riscv"} {
+		if !seen[want] {
+			fail("targets section is missing %q (have %d targets)", want, len(d.Targets))
+		}
+	}
+
+	fmt.Printf("validatecegisbench: ok (%d goals; cost-aware %d rules vs exhaustive %d at %d goals covered; mean rule cost %.2f; %d targets)\n",
+		len(d.Goals), c.CostAwareRules, c.ExhaustiveRules, c.CostAwareGoals, c.MeanRuleCost, len(d.Targets))
 }

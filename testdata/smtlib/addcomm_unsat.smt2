@@ -1,0 +1,6 @@
+; Addition commutes: a + b != b + a has no model.
+(set-logic QF_BV)
+(declare-const a (_ BitVec 8))
+(declare-const b (_ BitVec 8))
+(assert (distinct (bvadd a b) (bvadd b a)))
+(check-sat)

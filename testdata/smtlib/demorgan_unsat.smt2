@@ -1,0 +1,7 @@
+; De Morgan over 8-bit vectors: ~(a & b) == ~a | ~b is valid, so its
+; negation is unsatisfiable.
+(set-logic QF_BV)
+(declare-const a (_ BitVec 8))
+(declare-const b (_ BitVec 8))
+(assert (not (= (bvnot (bvand a b)) (bvor (bvnot a) (bvnot b)))))
+(check-sat)

@@ -1,0 +1,7 @@
+; x & -x isolates the lowest set bit; ask for an x whose lowest set bit
+; is bit 4. Satisfiable (any x = 0bxxx10000 pattern), model required.
+(set-logic QF_BV)
+(declare-const x (_ BitVec 8))
+(assert (= (bvand x (bvneg x)) #x10))
+(check-sat)
+(get-model)

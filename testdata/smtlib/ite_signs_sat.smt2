@@ -1,0 +1,8 @@
+; Mux/abs idiom over signed comparison: an x whose "absolute value"
+; computed by ite equals 3 while x itself is negative.
+(set-logic QF_BV)
+(declare-const x (_ BitVec 8))
+(assert (= (ite (bvslt x #x00) (bvneg x) x) #x03))
+(assert (bvslt x #x00))
+(check-sat)
+(get-model)

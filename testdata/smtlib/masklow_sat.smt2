@@ -1,0 +1,8 @@
+; define-fun + multiple asserts: find x < 0x20 whose low nibble is 0xa.
+(set-logic QF_BV)
+(define-fun low4 ((v (_ BitVec 8))) (_ BitVec 8) (bvand v #x0f))
+(declare-const x (_ BitVec 8))
+(assert (= (low4 x) #x0a))
+(assert (bvult x #x20))
+(check-sat)
+(get-model)

@@ -1,0 +1,6 @@
+; An empty unsigned range: x < 10 and x > 20 together.
+(set-logic QF_BV)
+(declare-const x (_ BitVec 8))
+(assert (bvult x #x0a))
+(assert (bvugt x #x14))
+(check-sat)

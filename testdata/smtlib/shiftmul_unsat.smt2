@@ -1,0 +1,6 @@
+; x << 1 is x * 2 (the strength reduction instruction selection relies
+; on): their disagreement is unsatisfiable.
+(set-logic QF_BV)
+(declare-const x (_ BitVec 8))
+(assert (distinct (bvshl x #x01) (bvmul x #x02)))
+(check-sat)
