@@ -17,17 +17,21 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"selgen/internal/cegis"
 	"selgen/internal/driver"
 	"selgen/internal/failpoint"
+	"selgen/internal/farm"
 	"selgen/internal/ir"
+	"selgen/internal/journal"
 	"selgen/internal/obs"
 	"selgen/internal/pattern"
 	"selgen/internal/sem"
@@ -105,6 +109,21 @@ type cegisBenchTarget struct {
 	SynthMS    float64 `json:"synth_ms"`
 }
 
+// cegisBenchFarm is the distributed-synthesis section: the quickstart
+// set synthesized by a real multi-process farm (`selgen -farm` workers
+// spawned from -farm-selgen), with the merged library byte-compared
+// against the single-process run of the same configuration.
+type cegisBenchFarm struct {
+	Workers         int     `json:"workers"`
+	Goals           int     `json:"goals"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	GoalsPerSec     float64 `json:"goals_per_sec"`
+	LeasesGranted   int     `json:"leases_granted"`
+	LeasesReclaimed int     `json:"leases_reclaimed"`
+	Respawns        int     `json:"respawns"`
+	ByteIdentical   bool    `json:"byte_identical"`
+}
+
 // cegisBench is the BENCH_cegis.json document.
 type cegisBench struct {
 	Width            int                `json:"width"`
@@ -120,6 +139,7 @@ type cegisBench struct {
 	PortfolioSpeedup float64            `json:"portfolio_speedup,omitempty"`
 	Cost             cegisBenchCost     `json:"cost"`
 	Targets          []cegisBenchTarget `json:"targets"`
+	Farm             *cegisBenchFarm    `json:"farm,omitempty"`
 }
 
 // runCEGISBench times the incremental pipeline against the
@@ -128,7 +148,7 @@ type cegisBench struct {
 // is reported (least-noise estimator). With satWorkers > 1 each goal is
 // additionally timed with verification routed through the SAT
 // portfolio (SatProbe lowered so hard queries actually fan out).
-func runCEGISBench(width, satWorkers int, path string) error {
+func runCEGISBench(width, satWorkers int, farmSelgen string, farmWorkers int, path string) error {
 	goals := []*sem.Instr{
 		x86.Inc(),
 		x86.Andn(),
@@ -231,6 +251,17 @@ func runCEGISBench(width, satWorkers int, path string) error {
 		RulesDominated:     caRep.RulesDominated,
 	}
 
+	// Farm section: the same cost-aware quickstart run, distributed
+	// across real `selgen -farm` worker processes; the merged library
+	// must be byte-identical to caLib (the single-process run above).
+	if farmSelgen != "" {
+		fb, err := runFarmBench(width, farmWorkers, farmSelgen, caLib)
+		if err != nil {
+			return fmt.Errorf("farm bench: %w", err)
+		}
+		out.Farm = fb
+	}
+
 	// Per-target section: the same quickstart pipeline (synthesize →
 	// compile → select) run for every backend.
 	for _, name := range target.Names() {
@@ -301,7 +332,79 @@ func runCEGISBench(width, satWorkers int, path string) error {
 			t.Target, t.Rules, t.Goals, t.QuickGoals, t.MeanRuleCost,
 			100*t.Coverage, t.MeanCycles, t.SynthMS)
 	}
+	if out.Farm != nil {
+		fmt.Printf("farm: %d goals on %d workers in %.0fms (%.2f goals/s, %d leases granted, %d reclaimed), merged library byte-identical\n",
+			out.Farm.Goals, out.Farm.Workers, out.Farm.ElapsedMS,
+			out.Farm.GoalsPerSec, out.Farm.LeasesGranted, out.Farm.LeasesReclaimed)
+	}
 	return nil
+}
+
+// runFarmBench synthesizes the quickstart set on a real multi-process
+// farm — workers worker processes execing selgenBin with `-farm` — and
+// byte-compares the merged library against single (the single-process
+// run of the identical configuration). The farm throughput and
+// lease-health counters become BENCH_cegis.json's farm section.
+func runFarmBench(width, workers int, selgenBin string, single *pattern.Library) (*cegisBenchFarm, error) {
+	groups := driver.QuickSetup()
+	opts := driver.Options{
+		Target: "x86", Width: width, Seed: 1,
+		MaxPatternsPerGoal: 48,
+		PerGoalTimeout:     2 * time.Minute,
+	}
+	hdr := journal.Header{
+		Version:    journal.Version,
+		Setup:      "quick",
+		Width:      width,
+		Target:     "x86",
+		ConfigHash: driver.ConfigHash(groups, opts),
+	}
+	dir, err := os.MkdirTemp("", "iselbench-farm-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	workerArgs := []string{
+		"-target", "x86",
+		"-setup", "quick",
+		"-width", strconv.Itoa(width),
+		"-timeout", "2m",
+		"-max-patterns", "48",
+		"-seed", "1",
+	}
+	start := time.Now()
+	lib, rep, err := farm.Run(farm.Config{
+		Groups: groups, Opts: opts, Header: hdr,
+		Dir:     dir,
+		Workers: workers,
+		Spawn:   farm.CommandSpawner(selgenBin, workerArgs, os.Stderr),
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	var got, want bytes.Buffer
+	if err := lib.Save(&got); err != nil {
+		return nil, err
+	}
+	if err := single.Save(&want); err != nil {
+		return nil, err
+	}
+	fb := &cegisBenchFarm{
+		Workers:         rep.Workers,
+		Goals:           rep.Goals,
+		ElapsedMS:       float64(elapsed) / float64(time.Millisecond),
+		GoalsPerSec:     float64(rep.Goals) / elapsed.Seconds(),
+		LeasesGranted:   rep.Granted,
+		LeasesReclaimed: rep.Reclaimed,
+		Respawns:        rep.Respawns,
+		ByteIdentical:   bytes.Equal(got.Bytes(), want.Bytes()),
+	}
+	if !fb.ByteIdentical {
+		return nil, fmt.Errorf("farm library (%d rules) differs from the single-process run (%d rules)",
+			len(lib.Rules), len(single.Rules))
+	}
+	return fb, nil
 }
 
 // writeIselBench runs the selection-scaling benchmark and writes
@@ -387,6 +490,8 @@ func main() {
 		fseed     = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection modes")
 		costAware = flag.Bool("cost-aware", true, "synthesize libraries with cost-ordered enumeration and dominance pruning (false = exhaustive size-major ablation)")
 		status    = flag.String("status", "", "serve live telemetry (Prometheus /metrics, per-goal /goals, /debug/pprof) on this address during library synthesis and the Table 1 run (empty = no server)")
+		farmSel   = flag.String("farm-selgen", "", "with -json: also benchmark the distributed synthesis farm, spawning this selgen binary as the workers (adds the farm section to BENCH_cegis.json)")
+		farmWkrs  = flag.Int("farm-workers", 2, "with -farm-selgen: worker processes for the farm benchmark")
 	)
 	flag.Parse()
 
@@ -430,7 +535,7 @@ func main() {
 	}
 
 	if *jsonBench {
-		if err := runCEGISBench(*width, *workers, "BENCH_cegis.json"); err != nil {
+		if err := runCEGISBench(*width, *workers, *farmSel, *farmWkrs, "BENCH_cegis.json"); err != nil {
 			fmt.Fprintf(os.Stderr, "iselbench: cegis bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -130,6 +130,16 @@ type Report struct {
 	// RulesDominated counts rules the library-level dominance prune
 	// dropped (always 0 under Options.DisableCostAware).
 	RulesDominated int
+	// JournalDuplicates counts duplicated goal records found in the
+	// resume journal (Options.ResumeDuplicates): the first occurrence
+	// was replayed, the rest ignored. Non-zero only for journals merged
+	// from reassigned farm leases — a single-process journal never
+	// duplicates a goal, so the count doubles as a corruption signal.
+	JournalDuplicates int
+	// Interrupted marks a run stopped early by Options.Stop: every
+	// finished goal is journaled and reported, the rest were never
+	// started.
+	Interrupted bool
 }
 
 // WriteTable renders the report like the paper's Table 2, followed by
@@ -165,6 +175,14 @@ func (r *Report) WriteTable(w io.Writer) {
 				fmt.Fprintf(w, "  quarantined: %s/%s\n", g.Name, name)
 			}
 		}
+	}
+	if r.JournalDuplicates > 0 {
+		fmt.Fprintf(w, "%-12s %d duplicate journal record(s) ignored (first occurrence replayed)\n",
+			"Journal", r.JournalDuplicates)
+	}
+	if r.Interrupted {
+		fmt.Fprintf(w, "%-12s run stopped early; %d goal(s) finished, the rest never started\n",
+			"Interrupted", r.Total.Goals)
 	}
 	if r.Metrics != nil {
 		fmt.Fprintln(w)
@@ -331,6 +349,17 @@ type Options struct {
 	// synthesized, and are not re-appended. Populate it from
 	// journal.Resume's Recovered.Index().
 	Resume map[string]journal.GoalRecord
+	// ResumeDuplicates lists the duplicated record keys the journal
+	// scan ignored (journal.Recovered.Duplicates). Run logs each as a
+	// driver.journal.duplicate event and surfaces the count in the
+	// report, so a duplicate never passes silently.
+	ResumeDuplicates []string
+	// Stop, when non-nil, requests a graceful early exit: Run checks it
+	// before dispatching each goal, lets the goals already in flight
+	// finish (and journal), skips the rest, and returns ErrInterrupted
+	// alongside the partial library and report. SIGINT/SIGTERM handling
+	// in the CLIs closes this channel.
+	Stop <-chan struct{}
 	// Faults, when non-nil, arms fault-injection points throughout the
 	// stack (driver, cegis, smt, sat, journal). Nil in production.
 	Faults *failpoint.Registry
@@ -344,6 +373,21 @@ type Options struct {
 	// size-major instead of cost-ascending, no dominance filtering at
 	// enumeration time, and no library-level dominated-rule pruning.
 	DisableCostAware bool
+}
+
+// ErrInterrupted reports a run stopped early through Options.Stop. The
+// library and report returned alongside it cover the goals that
+// finished (all journaled); classify with errors.Is.
+var ErrInterrupted = errors.New("driver: run interrupted")
+
+// stopRequested polls a Stop channel without blocking (nil = never).
+func stopRequested(stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Run synthesizes all groups into one library. Each goal runs behind a
@@ -398,13 +442,26 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 		}
 	}
 
+	if n := len(opts.ResumeDuplicates); n > 0 {
+		tr.Add("driver.journal.duplicate", int64(n))
+		rep.JournalDuplicates = n
+		for _, key := range opts.ResumeDuplicates {
+			tr.Eventf(obs.LevelWarn, "driver.journal.duplicate",
+				[]obs.Arg{obs.Str("key", key)},
+				"  journal: duplicate record for %s ignored (first occurrence replayed)\n", key)
+		}
+	}
+
 	workers := opts.Parallel
 	if workers < 1 {
 		workers = 1
 	}
 
+	stopped := false
 	for _, grp := range groups {
-		gr := GroupReport{Name: grp.Name, Goals: len(grp.Goals)}
+		if stopped {
+			break
+		}
 		gsp := tr.Span(0, "group", obs.Str("group", grp.Name),
 			obs.Int("goals", int64(len(grp.Goals))))
 		start := time.Now()
@@ -412,29 +469,33 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 		outs := make([]goalOut, len(grp.Goals))
 		slots := make(chan struct{}, workers)
 		done := make(chan int, len(grp.Goals))
+		dispatched := len(grp.Goals)
 		for gi, goal := range grp.Goals {
+			if stopRequested(opts.Stop) {
+				// Graceful stop: nothing new starts; the goals already
+				// in flight run to completion and journal their records
+				// before Run returns ErrInterrupted.
+				stopped = true
+				dispatched = gi
+				break
+			}
 			gi, goal := gi, goal
 			slots <- struct{}{}
-			goalOps := ops
-			if grp.Ops != nil {
-				goalOps = grp.Ops
-			}
-			perGoal := opts.MaxPatternsPerGoal
-			if grp.MaxPatternsPerGoal > 0 {
-				perGoal = grp.MaxPatternsPerGoal
-			} else if grp.MaxPatternsPerGoal < 0 {
-				perGoal = 0
-			}
+			goalOps, perGoal := groupParams(grp, opts, ops)
 			go func() {
 				defer func() { <-slots; done <- gi }()
-				outs[gi] = r.runOne(grp, gi, goal, goalOps, perGoal)
+				outs[gi], _ = r.runOne(grp, gi, goal, goalOps, perGoal)
 			}()
 		}
-		for range grp.Goals {
+		for i := 0; i < dispatched; i++ {
 			<-done
 		}
+		gr := GroupReport{Name: grp.Name, Goals: dispatched}
 
 		for gi, goal := range grp.Goals {
+			if gi >= dispatched {
+				break
+			}
 			o := &outs[gi]
 			// Legacy (ladder-off) classification: the engine wraps
 			// ErrDeadline with the goal name, so this must use errors.Is —
@@ -543,6 +604,15 @@ func Run(groups []Group, opts Options) (*pattern.Library, *Report, error) {
 			total += c
 		}
 		rep.MeanRuleCost = float64(total) / float64(len(lib.Rules))
+	}
+	if stopped {
+		rep.Interrupted = true
+		tr.Add("driver.interrupted", 1)
+		tr.Eventf(obs.LevelWarn, "driver.interrupted",
+			[]obs.Arg{obs.Int("goals_done", int64(rep.Total.Goals))},
+			"driver: interrupted after %d goal(s); in-flight goals were journaled\n",
+			rep.Total.Goals)
+		return lib, rep, ErrInterrupted
 	}
 	return lib, rep, nil
 }

@@ -148,8 +148,11 @@ type goalOut struct {
 
 // runOne produces a goal's outcome: replayed from the resume journal if
 // recorded there, synthesized through the retry ladder otherwise, and —
-// when freshly synthesized — appended to the run's journal.
-func (r *runner) runOne(grp Group, gi int, goal *sem.Instr, goalOps []*sem.Instr, perGoal int) goalOut {
+// when freshly synthesized — appended to the run's journal. The error is
+// the journal append's: Run tolerates it (checkpoint durability lost,
+// run intact) while a farm worker fails the lease on it (the record IS
+// the work product there; see GoalRunner).
+func (r *runner) runOne(grp Group, gi int, goal *sem.Instr, goalOps []*sem.Instr, perGoal int) (goalOut, error) {
 	key := journal.Key(grp.Name, gi, goal.Name)
 	if rec, ok := r.opts.Resume[key]; ok {
 		r.tr.Add("driver.resume.replayed", 1)
@@ -165,12 +168,11 @@ func (r *runner) runOne(grp Group, gi int, goal *sem.Instr, goalOps []*sem.Instr
 			replayed: true,
 		}
 		r.state.finish(key, out)
-		return out
+		return out, nil
 	}
 	out := r.synthesizeWithRetries(grp, key, goal, goalOps, perGoal)
 	r.state.finish(key, out)
-	r.journalAppend(grp.Name, gi, goal.Name, out)
-	return out
+	return out, r.journalAppend(grp.Name, gi, goal.Name, out)
 }
 
 // synthesizeWithRetries walks the goal up the retry ladder. A clean
@@ -278,13 +280,26 @@ func (r *runner) attemptGoal(grp Group, goal *sem.Instr, goalOps []*sem.Instr, p
 	return res, effort, err
 }
 
-// journalAppend records a freshly synthesized goal in the run journal.
-// Append failures are reported and counted but never fatal: losing
-// checkpoint durability is strictly better than losing the run.
-func (r *runner) journalAppend(group string, gi int, goal string, out goalOut) {
+// journalAppend records a freshly synthesized goal in the run journal
+// and returns the append error. In Run the error is reported and counted
+// but never fatal — losing checkpoint durability is strictly better than
+// losing the run — while GoalRunner propagates it to the farm worker.
+func (r *runner) journalAppend(group string, gi int, goal string, out goalOut) error {
 	if r.opts.Journal == nil {
-		return
+		return nil
 	}
+	if err := r.opts.Journal.Append(recordOf(group, gi, goal, out)); err != nil {
+		r.tr.Add("driver.journal.errors", 1)
+		r.tr.Eventf(obs.LevelWarn, "driver.journal.error",
+			[]obs.Arg{obs.Str("group", group), obs.Str("goal", goal)},
+			"  journal: %v\n", err)
+		return err
+	}
+	return nil
+}
+
+// recordOf converts a goal's terminal outcome into its journal record.
+func recordOf(group string, gi int, goal string, out goalOut) journal.GoalRecord {
 	rec := journal.GoalRecord{
 		Group:    group,
 		Index:    gi,
@@ -300,12 +315,7 @@ func (r *runner) journalAppend(group string, gi int, goal string, out goalOut) {
 	if out.err != nil {
 		rec.Err = firstLine(out.err.Error())
 	}
-	if err := r.opts.Journal.Append(rec); err != nil {
-		r.tr.Add("driver.journal.errors", 1)
-		r.tr.Eventf(obs.LevelWarn, "driver.journal.error",
-			[]obs.Arg{obs.Str("group", group), obs.Str("goal", goal)},
-			"  journal: %v\n", err)
-	}
+	return rec
 }
 
 func firstLine(s string) string {

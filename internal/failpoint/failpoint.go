@@ -62,19 +62,43 @@ const (
 	// journal append — a deterministic mid-run crash for testing
 	// journal resume (used by the CI kill-and-resume smoke test).
 	JournalKill = "journal.kill"
+	// FarmLeaseGrant drops a coordinator lease response on the floor
+	// after it is recorded: the worker never sees the grant, so the
+	// lease sits idle until its deadline and exercises the expiry →
+	// reclaim → reassign path deterministically.
+	FarmLeaseGrant = "farm.lease.grant"
+	// FarmWorkerSpawn fails a coordinator worker spawn (counted against
+	// the respawn budget, like any crashed worker).
+	FarmWorkerSpawn = "farm.worker.spawn"
+	// FarmMergeWrite fails the coordinator's merged-library write, so
+	// the merge/-resume retry path can be driven without a full disk.
+	FarmMergeWrite = "farm.merge.write"
+	// FarmHeartbeatDrop makes one coordinator heartbeat scrape count as
+	// failed, driving the unhealthy-worker kill-and-reclaim path
+	// without an actually wedged worker.
+	FarmHeartbeatDrop = "farm.heartbeat.drop"
+	// FarmCoordinatorKill SIGKILLs the coordinator process right after
+	// a lease-journal append is durable — the coordinator-death
+	// analogue of journal.kill, for testing selfarm -resume.
+	FarmCoordinatorKill = "farm.coordinator.kill"
 )
 
 // Known is the set of registered failpoint names.
 var Known = map[string]bool{
-	SatWorkerCrash:     true,
-	SatSpuriousTimeout: true,
-	SmtBlastDeadline:   true,
-	SmtCheckPanic:      true,
-	CegisVerifyDie:     true,
-	CegisGoalDeadline:  true,
-	DriverGoalPanic:    true,
-	JournalTornWrite:   true,
-	JournalKill:        true,
+	SatWorkerCrash:      true,
+	SatSpuriousTimeout:  true,
+	SmtBlastDeadline:    true,
+	SmtCheckPanic:       true,
+	CegisVerifyDie:      true,
+	CegisGoalDeadline:   true,
+	DriverGoalPanic:     true,
+	JournalTornWrite:    true,
+	JournalKill:         true,
+	FarmLeaseGrant:      true,
+	FarmWorkerSpawn:     true,
+	FarmMergeWrite:      true,
+	FarmHeartbeatDrop:   true,
+	FarmCoordinatorKill: true,
 }
 
 type mode int

@@ -1,0 +1,231 @@
+// The coordinator's own crash journal: an append-only JSONL log of
+// every lease-table transition (grant, reclaim, quarantine, completion,
+// shard registration), written with the same single-Write + fsync
+// discipline as the worker shards (internal/journal), so `selfarm
+// -resume` can rebuild the lease table after coordinator death. The
+// shards remain the source of truth for synthesized patterns — this log
+// only has to remember which goals finished, how many times each was
+// attempted, and which were quarantined, none of which the shards can
+// answer (a quarantined goal, by definition, has no shard record).
+
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"selgen/internal/failpoint"
+	"selgen/internal/journal"
+)
+
+// coordRecord is one line of the coordinator journal.
+type coordRecord struct {
+	Kind string `json:"kind"` // header | shard | lease | reclaim | quarantine | done
+
+	// header records
+	Header  *journal.Header `json:"header,omitempty"`
+	Workers int             `json:"workers,omitempty"`
+
+	// shard records bind a worker id to its journal path, so resume
+	// knows which files to merge even if the worker never completed
+	// anything.
+	Path string `json:"path,omitempty"`
+
+	// lease-table records
+	Key     string `json:"key,omitempty"`
+	Worker  int    `json:"worker"`
+	Attempt int    `json:"attempt,omitempty"`
+	Status  string `json:"status,omitempty"` // done records
+}
+
+// coordWriter appends lease-table transitions durably.
+type coordWriter struct {
+	f      *os.File
+	faults *failpoint.Registry
+}
+
+// createCoordJournal starts a fresh coordinator journal, truncating any
+// previous file.
+func createCoordJournal(path string, hdr journal.Header, workers int, faults *failpoint.Registry) (*coordWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("farm: coordinator journal: %w", err)
+	}
+	w := &coordWriter{f: f, faults: faults}
+	if err := w.append(coordRecord{Kind: "header", Header: &hdr, Workers: workers}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// append writes one record durably: a single Write call for the whole
+// line, fsync'd before returning. The farm.coordinator.kill failpoint
+// fires after the sync — the record is on disk, the coordinator is not —
+// which is exactly the crash `selfarm -resume` must survive.
+func (w *coordWriter) append(rec coordRecord) error {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("farm: coordinator journal: encoding %s record: %w", rec.Kind, err)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("farm: coordinator journal: append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("farm: coordinator journal: sync: %w", err)
+	}
+	if w.faults.Active(failpoint.FarmCoordinatorKill) {
+		// Uncatchable, so no deferred cleanup runs — the point: resume
+		// must work from exactly this durable prefix.
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			p.Kill()
+		}
+	}
+	return nil
+}
+
+func (w *coordWriter) close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// coordRecovered is the lease-table state rebuilt from a coordinator
+// journal.
+type coordRecovered struct {
+	Header  journal.Header
+	Workers int
+	// Attempts is the highest grant attempt seen per goal key: resume
+	// continues the backoff/quarantine ladder where the dead coordinator
+	// left it instead of giving every goal a fresh budget.
+	Attempts map[string]int
+	// Done maps finished goal keys to their recorded status.
+	Done map[string]string
+	// Quarantined lists goals the dead coordinator gave up on.
+	Quarantined map[string]bool
+	// Shards maps worker ids to their journal paths.
+	Shards map[int]string
+	// TruncatedBytes counts torn-tail bytes dropped (a crash mid-append).
+	TruncatedBytes int
+}
+
+// resumeCoordJournal reopens a coordinator journal after coordinator
+// death: it validates the header against the current run's, truncates a
+// torn tail, rebuilds the lease table, and returns a writer positioned
+// to append. Lease records without a matching done/quarantine are
+// simply forgotten — the lease died with the coordinator, and the goal
+// returns to the pending pool (its attempt count intact).
+func resumeCoordJournal(path string, want journal.Header, faults *failpoint.Registry) (*coordWriter, *coordRecovered, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("farm: coordinator journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("farm: coordinator journal: %w", err)
+	}
+	rec, err := scanCoordJournal(data, want)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if rec.TruncatedBytes > 0 {
+		fi, err := f.Stat()
+		if err == nil {
+			err = f.Truncate(fi.Size() - int64(rec.TruncatedBytes))
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("farm: coordinator journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("farm: coordinator journal: %w", err)
+	}
+	return &coordWriter{f: f, faults: faults}, rec, nil
+}
+
+// scanCoordJournal parses a coordinator journal image, torn-tail
+// tolerant like journal.scanData: an unterminated (or unparsable) final
+// line is a crash mid-append and is reported, not fatal; corruption
+// anywhere else is an error.
+func scanCoordJournal(data []byte, want journal.Header) (*coordRecovered, error) {
+	out := &coordRecovered{
+		Attempts:    make(map[string]int),
+		Done:        make(map[string]string),
+		Quarantined: make(map[string]bool),
+		Shards:      make(map[int]string),
+	}
+	sawHeader := false
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			out.TruncatedBytes = len(data) - off
+			break
+		}
+		line := data[off : off+nl]
+		end := off + nl + 1
+		var rec coordRecord
+		if uerr := json.Unmarshal(line, &rec); uerr != nil {
+			if end == len(data) {
+				out.TruncatedBytes = len(data) - off
+				break
+			}
+			return nil, fmt.Errorf("farm: coordinator journal: corrupt record at byte %d: %v", off, uerr)
+		}
+		switch rec.Kind {
+		case "header":
+			if sawHeader {
+				return nil, fmt.Errorf("farm: coordinator journal: duplicate header at byte %d", off)
+			}
+			if rec.Header == nil {
+				return nil, fmt.Errorf("farm: coordinator journal: header record without body at byte %d", off)
+			}
+			if err := journal.CheckHeader(*rec.Header, want); err != nil {
+				return nil, err
+			}
+			sawHeader = true
+			out.Header = *rec.Header
+			out.Workers = rec.Workers
+		case "shard":
+			if !sawHeader {
+				return nil, fmt.Errorf("farm: coordinator journal: record before header at byte %d", off)
+			}
+			out.Shards[rec.Worker] = rec.Path
+		case "lease":
+			if !sawHeader {
+				return nil, fmt.Errorf("farm: coordinator journal: record before header at byte %d", off)
+			}
+			if rec.Attempt > out.Attempts[rec.Key] {
+				out.Attempts[rec.Key] = rec.Attempt
+			}
+		case "reclaim":
+			// Advisory: attempts were already counted at grant time.
+		case "quarantine":
+			if !sawHeader {
+				return nil, fmt.Errorf("farm: coordinator journal: record before header at byte %d", off)
+			}
+			out.Quarantined[rec.Key] = true
+		case "done":
+			if !sawHeader {
+				return nil, fmt.Errorf("farm: coordinator journal: record before header at byte %d", off)
+			}
+			out.Done[rec.Key] = rec.Status
+		default:
+			return nil, fmt.Errorf("farm: coordinator journal: unknown record kind %q at byte %d", rec.Kind, off)
+		}
+		off = end
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("farm: coordinator journal: no intact header — nothing to resume from")
+	}
+	return out, nil
+}

@@ -1,0 +1,491 @@
+package farm
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"selgen/internal/driver"
+	"selgen/internal/failpoint"
+	"selgen/internal/journal"
+	"selgen/internal/obs"
+	"selgen/internal/pattern"
+)
+
+// farmSetup is the quickstart run every farm test distributes. The
+// options must match between coordinator and workers bit-for-bit
+// (ConfigHash covers them), so both sides call this one function.
+func farmSetup() ([]driver.Group, driver.Options, journal.Header) {
+	groups := driver.QuickSetup()
+	opts := driver.Options{Width: 8, Seed: 1, MaxPatternsPerGoal: 16,
+		PerGoalTimeout: 90 * time.Second}
+	hdr := journal.Header{
+		Version: journal.Version, Setup: "quick", Width: opts.Width,
+		ConfigHash: driver.ConfigHash(groups, opts),
+	}
+	return groups, opts, hdr
+}
+
+// saveBytes is the byte-identity yardstick: the farm's guarantee is
+// about the serialized library, so tests compare at that level.
+func saveBytes(t *testing.T, lib *pattern.Library) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := lib.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// goroutineHandle adapts an in-process worker goroutine to Handle.
+type goroutineHandle struct {
+	kill chan struct{}
+	once sync.Once
+	done chan error
+}
+
+func (h *goroutineHandle) Kill()              { h.once.Do(func() { close(h.kill) }) }
+func (h *goroutineHandle) Done() <-chan error { return h.done }
+
+// inprocSpawner runs RunWorker in a goroutine of the test process —
+// fast and race-detectable; the chaos tests use real subprocesses for
+// actual SIGKILL coverage.
+func inprocSpawner(groups []driver.Group, opts driver.Options, hdr journal.Header) SpawnFunc {
+	return func(id int, coordURL, shard string) (Handle, error) {
+		h := &goroutineHandle{kill: make(chan struct{}), done: make(chan error, 1)}
+		go func() {
+			h.done <- RunWorker(WorkerConfig{
+				ID: id, Coord: coordURL, Groups: groups, Opts: opts,
+				Header: hdr, Shard: shard, Stop: h.kill,
+			})
+		}()
+		return h, nil
+	}
+}
+
+func mustFaults(t *testing.T, spec string) *failpoint.Registry {
+	t.Helper()
+	reg, err := failpoint.Parse(spec, 1)
+	if err != nil {
+		t.Fatalf("failpoint.Parse(%q): %v", spec, err)
+	}
+	return reg
+}
+
+// TestFarmMatchesSingleProcess is the farm's headline guarantee: two
+// workers sharding the quickstart produce a library byte-identical to
+// one driver.Run.
+func TestFarmMatchesSingleProcess(t *testing.T) {
+	groups, opts, hdr := farmSetup()
+	baseLib, _, err := driver.Run(groups, opts)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	want := saveBytes(t, baseLib)
+
+	tr := obs.New()
+	lib, rep, err := Run(Config{
+		Groups: groups, Opts: opts, Header: hdr,
+		Dir: t.TempDir(), Workers: 2,
+		Lease: 2 * time.Minute,
+		Spawn: inprocSpawner(groups, opts, hdr),
+		Obs:   tr,
+	})
+	if err != nil {
+		t.Fatalf("farm run: %v", err)
+	}
+	if got := saveBytes(t, lib); !bytes.Equal(got, want) {
+		t.Fatalf("farmed library differs from single-process run: %d vs %d rules",
+			len(lib.Rules), len(baseLib.Rules))
+	}
+	if rep.Goals != rep.Synthesized || rep.Granted < rep.Goals {
+		t.Fatalf("report: %d goals, %d synthesized, %d granted", rep.Goals, rep.Synthesized, rep.Granted)
+	}
+	if rep.Reclaimed != 0 || rep.Respawns != 0 || len(rep.Quarantined) != 0 {
+		t.Fatalf("clean run reports faults: reclaimed=%d respawns=%d quarantined=%v",
+			rep.Reclaimed, rep.Respawns, rep.Quarantined)
+	}
+	if rep.GoalsPerSec <= 0 {
+		t.Fatalf("goals/sec not computed: %v", rep.GoalsPerSec)
+	}
+	if rep.Driver == nil || rep.Driver.Total.Goals != rep.Goals {
+		t.Fatalf("driver report missing or inconsistent: %+v", rep.Driver)
+	}
+}
+
+// TestLeaseDropReclaimReassign drives the expiry path deterministically:
+// the farm.lease.grant failpoint drops the first grant response, so the
+// lease must expire, be reclaimed with backoff, and be reassigned — and
+// the library must still come out byte-identical.
+func TestLeaseDropReclaimReassign(t *testing.T) {
+	groups, opts, hdr := farmSetup()
+	baseLib, _, err := driver.Run(groups, opts)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	tr := obs.New()
+	lib, rep, err := Run(Config{
+		Groups: groups, Opts: opts, Header: hdr,
+		Dir: t.TempDir(), Workers: 2,
+		Lease:   400 * time.Millisecond,
+		Backoff: 50 * time.Millisecond,
+		Spawn:   inprocSpawner(groups, opts, hdr),
+		Faults:  mustFaults(t, "farm.lease.grant=hit:1"),
+		Obs:     tr,
+	})
+	if err != nil {
+		t.Fatalf("farm run: %v", err)
+	}
+	if rep.Reclaimed < 1 {
+		t.Fatalf("dropped grant was never reclaimed (reclaimed=%d)", rep.Reclaimed)
+	}
+	if got := tr.Metrics().CounterValue("farm.lease.reclaimed"); got < 1 {
+		t.Fatalf("farm.lease.reclaimed = %d, want ≥ 1", got)
+	}
+	if !bytes.Equal(saveBytes(t, lib), saveBytes(t, baseLib)) {
+		t.Fatalf("library differs after a reclaimed lease")
+	}
+}
+
+// TestQuarantineAfterAttemptCap: a worker that leases goals and never
+// completes them burns the attempt budget; every goal must end up
+// quarantined — with a synthetic journal record — rather than wedging
+// the run forever.
+func TestQuarantineAfterAttemptCap(t *testing.T) {
+	groups, opts, hdr := farmSetup()
+	// A black hole: registers, leases, never completes, never dies.
+	blackhole := func(id int, coordURL, shard string) (Handle, error) {
+		h := &goroutineHandle{kill: make(chan struct{}), done: make(chan error, 1)}
+		go func() {
+			cl := newClient(coordURL)
+			cl.post("/register", registerRequest{Worker: id, Header: hdr}, nil)
+			for {
+				select {
+				case <-h.kill:
+					h.done <- nil
+					return
+				case <-time.After(20 * time.Millisecond):
+				}
+				var resp leaseResponse
+				if cl.post("/lease", leaseRequest{Worker: id}, &resp) != nil || resp.Done {
+					h.done <- nil
+					return
+				}
+			}
+		}()
+		return h, nil
+	}
+
+	tr := obs.New()
+	lib, rep, err := Run(Config{
+		Groups: groups, Opts: opts, Header: hdr,
+		Dir: t.TempDir(), Workers: 1,
+		Lease:       100 * time.Millisecond,
+		Backoff:     10 * time.Millisecond,
+		MaxAttempts: 2,
+		Spawn:       blackhole,
+		Obs:         tr,
+	})
+	if err != nil {
+		t.Fatalf("farm run: %v", err)
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.Goals)
+	}
+	if len(rep.Quarantined) != total {
+		t.Fatalf("quarantined %d goals, want all %d: %v", len(rep.Quarantined), total, rep.Quarantined)
+	}
+	if len(lib.Rules) != 0 {
+		t.Fatalf("quarantined-everything run produced %d rules", len(lib.Rules))
+	}
+	if got := tr.Metrics().CounterValue("farm.goal.quarantined"); got != int64(total) {
+		t.Fatalf("farm.goal.quarantined = %d, want %d", got, total)
+	}
+	if rep.Driver.Total.Quarantined != total {
+		t.Fatalf("driver report quarantined = %d, want %d", rep.Driver.Total.Quarantined, total)
+	}
+}
+
+// TestWorkerCrashRespawnsAndRecovers: a worker whose goroutine dies with
+// an error is respawned against the budget, its leases reclaimed
+// immediately, and the respawned worker replays its shard.
+func TestWorkerCrashRespawnsAndRecovers(t *testing.T) {
+	groups, opts, hdr := farmSetup()
+	baseLib, _, err := driver.Run(groups, opts)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	// First spawn of worker 0 dies right after taking (and completing)
+	// one goal; the respawn runs the normal loop.
+	var mu sync.Mutex
+	spawns := make(map[int]int)
+	inner := inprocSpawner(groups, opts, hdr)
+	spawn := func(id int, coordURL, shard string) (Handle, error) {
+		mu.Lock()
+		n := spawns[id]
+		spawns[id]++
+		mu.Unlock()
+		if id == 0 && n == 0 {
+			h := &goroutineHandle{kill: make(chan struct{}), done: make(chan error, 1)}
+			go func() {
+				cl := newClient(coordURL)
+				if err := cl.post("/register", registerRequest{Worker: id, Header: hdr}, nil); err != nil {
+					h.done <- err
+					return
+				}
+				// Take one lease, complete it durably, then "crash".
+				jw, err := journal.Create(shard, hdr)
+				if err != nil {
+					h.done <- err
+					return
+				}
+				wopts := opts
+				wopts.Journal = jw
+				runner := driver.NewGoalRunner(groups, wopts)
+				for {
+					var resp leaseResponse
+					if err := cl.post("/lease", leaseRequest{Worker: id}, &resp); err != nil || resp.Done {
+						h.done <- err
+						return
+					}
+					if resp.Key == nil {
+						time.Sleep(10 * time.Millisecond)
+						continue
+					}
+					rec, err := runner.Run(driver.GoalKey{Group: resp.Key.Group, Index: resp.Key.Index, Goal: resp.Key.Goal})
+					if err != nil {
+						h.done <- err
+						return
+					}
+					cl.post("/complete", completeRequest{Worker: id, Record: rec}, nil)
+					jw.Close()
+					h.done <- errors.New("injected worker crash")
+					return
+				}
+			}()
+			return h, nil
+		}
+		return inner(id, coordURL, shard)
+	}
+
+	lib, rep, err := Run(Config{
+		Groups: groups, Opts: opts, Header: hdr,
+		Dir: t.TempDir(), Workers: 2,
+		Lease: 2 * time.Minute,
+		Spawn: spawn,
+	})
+	if err != nil {
+		t.Fatalf("farm run: %v", err)
+	}
+	if rep.Respawns < 1 {
+		t.Fatalf("crashed worker was not respawned (respawns=%d)", rep.Respawns)
+	}
+	mu.Lock()
+	respawned := spawns[0] >= 2
+	mu.Unlock()
+	if !respawned {
+		t.Fatalf("worker 0 was not respawned: spawns=%v", spawns)
+	}
+	if !bytes.Equal(saveBytes(t, lib), saveBytes(t, baseLib)) {
+		t.Fatalf("library differs after a worker crash")
+	}
+}
+
+// TestSpawnFailpointConsumesBudget: farm.worker.spawn failures are
+// healed by the respawn budget; the run completes and counts them.
+func TestSpawnFailpointConsumesBudget(t *testing.T) {
+	groups, opts, hdr := farmSetup()
+	lib, rep, err := Run(Config{
+		Groups: groups, Opts: opts, Header: hdr,
+		Dir: t.TempDir(), Workers: 2,
+		Lease:  2 * time.Minute,
+		Spawn:  inprocSpawner(groups, opts, hdr),
+		Faults: mustFaults(t, "farm.worker.spawn=hit:1"),
+	})
+	if err != nil {
+		t.Fatalf("farm run: %v", err)
+	}
+	if rep.Respawns < 1 {
+		t.Fatalf("injected spawn failure not charged to the budget (respawns=%d)", rep.Respawns)
+	}
+	if len(lib.Rules) == 0 {
+		t.Fatalf("run produced no rules")
+	}
+}
+
+// TestHeartbeatKillsStalledWorker: a worker whose telemetry stops
+// moving while it holds a lease is killed by the heartbeat and its
+// lease reassigned; the run still completes byte-identically.
+func TestHeartbeatKillsStalledWorker(t *testing.T) {
+	groups, opts, hdr := farmSetup()
+	baseLib, _, err := driver.Run(groups, opts)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	// Frozen telemetry: always the same bytes, so the progress hash
+	// never changes.
+	frozen := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("frozen\n"))
+	}))
+	defer frozen.Close()
+
+	var mu sync.Mutex
+	spawns := make(map[int]int)
+	killed := make(chan struct{})
+	inner := inprocSpawner(groups, opts, hdr)
+	spawn := func(id int, coordURL, shard string) (Handle, error) {
+		mu.Lock()
+		n := spawns[id]
+		spawns[id]++
+		mu.Unlock()
+		if id == 0 && n == 0 {
+			// A wedged worker: registers with the frozen telemetry,
+			// takes one lease, then hangs until killed.
+			h := &goroutineHandle{kill: make(chan struct{}), done: make(chan error, 1)}
+			go func() {
+				cl := newClient(coordURL)
+				cl.post("/register", registerRequest{Worker: id, Header: hdr, Telemetry: frozen.URL}, nil)
+				for {
+					var resp leaseResponse
+					if err := cl.post("/lease", leaseRequest{Worker: id}, &resp); err != nil || resp.Done {
+						h.done <- err
+						return
+					}
+					if resp.Key != nil {
+						break // got a lease; now wedge
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+				<-h.kill
+				close(killed)
+				h.done <- errors.New("killed while wedged")
+			}()
+			return h, nil
+		}
+		return inner(id, coordURL, shard)
+	}
+
+	tr := obs.New()
+	lib, rep, err := Run(Config{
+		Groups: groups, Opts: opts, Header: hdr,
+		Dir: t.TempDir(), Workers: 2,
+		Lease:        30 * time.Second, // expiry alone must not save this run
+		Heartbeat:    50 * time.Millisecond,
+		StallScrapes: 3,
+		Backoff:      10 * time.Millisecond,
+		Spawn:        spawn,
+	})
+	if err != nil {
+		t.Fatalf("farm run: %v", err)
+	}
+	select {
+	case <-killed:
+	default:
+		t.Fatalf("wedged worker was never killed (kills=%d)", rep.Kills)
+	}
+	if rep.Kills < 1 {
+		t.Fatalf("heartbeat kills not reported (kills=%d)", rep.Kills)
+	}
+	if rep.Reclaimed < 1 {
+		t.Fatalf("wedged worker's lease was not reclaimed")
+	}
+	if !bytes.Equal(saveBytes(t, lib), saveBytes(t, baseLib)) {
+		t.Fatalf("library differs after a heartbeat kill")
+	}
+	_ = tr
+}
+
+// TestStopThenResume: a graceful stop mid-run returns ErrStopped with
+// every journal intact; a -resume run completes to the byte-identical
+// library without redoing the finished goals.
+func TestStopThenResume(t *testing.T) {
+	groups, opts, hdr := farmSetup()
+	baseLib, _, err := driver.Run(groups, opts)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	dir := t.TempDir()
+
+	// Stop as soon as the first completion lands (polled via metrics).
+	tr := obs.New()
+	stop := make(chan struct{})
+	go func() {
+		for tr.Metrics().CounterValue("farm.goal.completed") == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		close(stop)
+	}()
+	cfg := Config{
+		Groups: groups, Opts: opts, Header: hdr,
+		Dir: dir, Workers: 1,
+		Lease: 2 * time.Minute,
+		Spawn: inprocSpawner(groups, opts, hdr),
+		Obs:   tr, Stop: stop,
+	}
+	_, rep1, err := Run(cfg)
+	if !errors.Is(err, ErrStopped) {
+		// The tiny quickstart can occasionally finish before the stop
+		// lands; that degrades this test to plain determinism.
+		if err != nil {
+			t.Fatalf("farm run: %v", err)
+		}
+		t.Logf("run finished before the stop landed; resume will replay everything")
+	}
+
+	cfg2 := cfg
+	cfg2.Obs = obs.New()
+	cfg2.Stop = nil
+	cfg2.Resume = true
+	lib, rep2, err := Run(cfg2)
+	if err != nil {
+		t.Fatalf("resumed farm run: %v", err)
+	}
+	if rep2.Replayed < rep1.Synthesized {
+		t.Fatalf("resume replayed %d goals; the stopped run completed %d", rep2.Replayed, rep1.Synthesized)
+	}
+	if !bytes.Equal(saveBytes(t, lib), saveBytes(t, baseLib)) {
+		t.Fatalf("stop+resume library differs from single-process run")
+	}
+}
+
+// TestRegisterRefusesMismatchedHeader: the coordinator applies the
+// journal's cross-ISA/configuration refusal to worker registrations.
+func TestRegisterRefusesMismatchedHeader(t *testing.T) {
+	_, _, hdr := farmSetup()
+	c := &coordinator{cfg: Config{Header: hdr}, tr: obs.New(),
+		workers: make(map[int]*workerState), byKey: make(map[string]*goalEntry)}
+
+	bad := hdr
+	bad.Target = "riscv"
+	if err := c.register(0, bad, ""); err == nil {
+		t.Fatalf("register accepted a cross-ISA worker")
+	}
+	bad = hdr
+	bad.ConfigHash = "deadbeef"
+	if err := c.register(0, bad, ""); err == nil {
+		t.Fatalf("register accepted a mismatched config hash")
+	}
+	if err := c.register(0, hdr, ""); err != nil {
+		t.Fatalf("register refused a matching worker: %v", err)
+	}
+}
+
+// TestWorkerShardPathsStable: ShardPath and CoordJournalPath are the
+// contract between coordinator, resume, and cmd/selfarm.
+func TestWorkerShardPathsStable(t *testing.T) {
+	if got := ShardPath("/d", 3); got != filepath.Join("/d", "worker-3.journal") {
+		t.Fatalf("ShardPath = %q", got)
+	}
+	if got := CoordJournalPath("/d"); got != filepath.Join("/d", "coordinator.journal") {
+		t.Fatalf("CoordJournalPath = %q", got)
+	}
+}

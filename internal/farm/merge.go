@@ -1,0 +1,70 @@
+// Shard merge: fold the workers' journal shards back into one record
+// set. Each shard's header is validated with journal.CheckHeader (a
+// shard written for another ISA or configuration is refused, same as a
+// cross-ISA resume), torn tails are tolerated (a SIGKILL'd worker's
+// last append), and duplicate records — a goal finished by two workers
+// after a lease reclaim — keep the first occurrence in ascending
+// worker-id order, deterministically. Synthesis is deterministic per
+// goal, so which copy survives cannot change the merged library; the
+// count is still reported, because an unexpected duplicate in a farm
+// that reclaimed nothing is a corruption signal.
+
+package farm
+
+import (
+	"fmt"
+	"os"
+
+	"selgen/internal/failpoint"
+	"selgen/internal/journal"
+	"selgen/internal/pattern"
+)
+
+// mergeShards reads the shard journals at paths (missing files are
+// fine — a worker that never started has no shard) and merges their
+// goal records, returning the record set and the duplicate count.
+func mergeShards(hdr journal.Header, paths []string) (map[string]journal.GoalRecord, int, error) {
+	recs := make(map[string]journal.GoalRecord)
+	dups := 0
+	for _, p := range paths {
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			continue
+		}
+		rec, err := journal.Read(p, hdr)
+		if err != nil {
+			return nil, 0, fmt.Errorf("farm: shard %s: %w", p, err)
+		}
+		dups += len(rec.Duplicates) // within-shard duplicates
+		for _, g := range rec.Goals {
+			if _, ok := recs[g.Key()]; ok {
+				dups++ // cross-shard duplicate: reclaimed lease, both finished
+				continue
+			}
+			recs[g.Key()] = g
+		}
+	}
+	return recs, dups, nil
+}
+
+// WriteLibrary saves the merged library to path. The farm.merge.write
+// failpoint fails the write before the file is touched, so the
+// merge-retry path can be driven without a full disk; the journals are
+// untouched either way, and a re-run with -resume redoes only the
+// merge.
+func WriteLibrary(path string, lib *pattern.Library, faults *failpoint.Registry) error {
+	if faults.Active(failpoint.FarmMergeWrite) {
+		return fmt.Errorf("farm: injected merge-write failure for %s", path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("farm: writing merged library: %w", err)
+	}
+	if err := lib.Save(f); err != nil {
+		f.Close()
+		return fmt.Errorf("farm: writing merged library: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("farm: writing merged library: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package farm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"selgen/internal/failpoint"
+	"selgen/internal/journal"
+	"selgen/internal/pattern"
+)
+
+// TestMergeShards: records from several shards merge first-wins in
+// shard order, within- and cross-shard duplicates are counted, missing
+// shards are tolerated, and a mismatched shard header is refused.
+func TestMergeShards(t *testing.T) {
+	dir := t.TempDir()
+	_, _, hdr := farmSetup()
+	rec := func(group string, idx int, goal string, ms int64) journal.GoalRecord {
+		return journal.GoalRecord{Group: group, Index: idx, Goal: goal, Status: "ok", ElapsedMS: ms}
+	}
+
+	s0 := filepath.Join(dir, "worker-0.journal")
+	jw, err := journal.Create(s0, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw.Append(rec("Quick", 0, "a", 1))
+	jw.Append(rec("Quick", 1, "b", 2))
+	jw.Append(rec("Quick", 1, "b", 99)) // within-shard duplicate
+	jw.Close()
+
+	s1 := filepath.Join(dir, "worker-1.journal")
+	jw, err = journal.Create(s1, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw.Append(rec("Quick", 2, "c", 3))
+	jw.Append(rec("Quick", 0, "a", 99)) // cross-shard duplicate (reclaimed lease)
+	jw.Close()
+
+	recs, dups, err := mergeShards(hdr, []string{s0, s1, filepath.Join(dir, "worker-2.journal")})
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if len(recs) != 3 || dups != 2 {
+		t.Fatalf("merged %d records with %d duplicates, want 3 and 2", len(recs), dups)
+	}
+	// First occurrence wins: worker 0's copy of Quick/0/a, its own first
+	// copy of Quick/1/b.
+	if recs["Quick/0/a"].ElapsedMS != 1 || recs["Quick/1/b"].ElapsedMS != 2 {
+		t.Fatalf("merge did not keep first occurrences: %+v", recs)
+	}
+
+	// A shard from another configuration is refused.
+	bad := hdr
+	bad.ConfigHash = "other"
+	s3 := filepath.Join(dir, "worker-3.journal")
+	jw, err = journal.Create(s3, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw.Close()
+	if _, _, err := mergeShards(hdr, []string{s0, s3}); err == nil {
+		t.Fatalf("merge accepted a shard with a mismatched header")
+	}
+
+	// A torn shard tail (a SIGKILL'd worker's final append) is tolerated.
+	data, err := os.ReadFile(s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "worker-4.journal")
+	if err := os.WriteFile(torn, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err = mergeShards(hdr, []string{torn})
+	if err != nil {
+		t.Fatalf("merge rejected a torn shard: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("torn shard recovered %d records, want 2 (only the torn final line dropped)", len(recs))
+	}
+}
+
+// TestWriteLibraryFailpoint: farm.merge.write fails the write without
+// touching the journals; disarming it (here: the once mode's second
+// hit) lets the same call succeed.
+func TestWriteLibraryFailpoint(t *testing.T) {
+	dir := t.TempDir()
+	lib := &pattern.Library{Width: 8}
+	path := filepath.Join(dir, "out.json")
+	faults, err := failpoint.Parse("farm.merge.write=once", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLibrary(path, lib, faults); err == nil {
+		t.Fatalf("injected merge-write failure did not fire")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed merge write left a file behind")
+	}
+	if err := WriteLibrary(path, lib, faults); err != nil {
+		t.Fatalf("retry after injected failure: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("merged library not written: %v", err)
+	}
+}
+
+// TestCoordJournalRoundTrip: every lease-table transition survives the
+// write → crash → scan cycle, including a torn tail.
+func TestCoordJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, _, hdr := farmSetup()
+	path := filepath.Join(dir, "coordinator.journal")
+
+	jw, err := createCoordJournal(path, hdr, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appends := []coordRecord{
+		{Kind: "shard", Worker: 0, Path: "/d/worker-0.journal"},
+		{Kind: "shard", Worker: 1, Path: "/d/worker-1.journal"},
+		{Kind: "lease", Key: "Quick/0/a", Worker: 0, Attempt: 1},
+		{Kind: "lease", Key: "Quick/1/b", Worker: 1, Attempt: 1},
+		{Kind: "done", Key: "Quick/0/a", Worker: 0, Status: "ok"},
+		{Kind: "reclaim", Key: "Quick/1/b", Worker: 1, Attempt: 1},
+		{Kind: "lease", Key: "Quick/1/b", Worker: 0, Attempt: 2},
+		{Kind: "quarantine", Key: "Quick/1/b", Attempt: 2},
+	}
+	for _, r := range appends {
+		if err := jw.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: a crash mid-append.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, []byte(`{"kind":"lease","key":"Qu`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jw2, recov, err := resumeCoordJournal(path, hdr, nil)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	defer jw2.close()
+	if recov.Workers != 2 || len(recov.Shards) != 2 {
+		t.Fatalf("recovered workers=%d shards=%v", recov.Workers, recov.Shards)
+	}
+	if recov.Attempts["Quick/0/a"] != 1 || recov.Attempts["Quick/1/b"] != 2 {
+		t.Fatalf("attempts not rebuilt: %v", recov.Attempts)
+	}
+	if recov.Done["Quick/0/a"] != "ok" || len(recov.Done) != 1 {
+		t.Fatalf("done set not rebuilt: %v", recov.Done)
+	}
+	if !recov.Quarantined["Quick/1/b"] {
+		t.Fatalf("quarantine not rebuilt: %v", recov.Quarantined)
+	}
+	if recov.TruncatedBytes == 0 {
+		t.Fatalf("torn tail not detected")
+	}
+	// The torn tail was truncated: appends now extend an intact file.
+	if err := jw2.append(coordRecord{Kind: "done", Key: "Quick/2/c", Worker: 0, Status: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	jw2.close()
+	if _, recov2, err := resumeCoordJournal(path, hdr, nil); err != nil || recov2.TruncatedBytes != 0 {
+		t.Fatalf("re-resume after truncation: %v (torn %d bytes)", err, recov2.TruncatedBytes)
+	}
+
+	// Header mismatch is the same refusal resume applies.
+	bad := hdr
+	bad.Target = "riscv"
+	if _, _, err := resumeCoordJournal(path, bad, nil); err == nil {
+		t.Fatalf("coordinator journal resumed across ISAs")
+	}
+}

@@ -1,0 +1,47 @@
+// The production spawner: workers are real `selgen -farm` processes.
+// Kept in the package (rather than cmd/selfarm) so the benchmark can
+// drive a real multi-process farm through the same code path.
+
+package farm
+
+import (
+	"io"
+	"os/exec"
+	"strconv"
+	"sync"
+)
+
+// cmdHandle adapts an exec.Cmd to Handle.
+type cmdHandle struct {
+	cmd  *exec.Cmd
+	once sync.Once
+	done chan error
+}
+
+func (h *cmdHandle) Kill() { h.once.Do(func() { h.cmd.Process.Kill() }) }
+
+func (h *cmdHandle) Done() <-chan error { return h.done }
+
+// CommandSpawner returns a SpawnFunc that execs bin with baseArgs plus
+// the farm wiring flags: -farm <coordURL> -farm-id <id> -journal
+// <shard>. baseArgs carry the synthesis configuration (-setup, -width,
+// -timeout, …), which must match the coordinator's — registration
+// enforces it through the journal-header check. A non-nil stderr
+// receives the workers' stderr (interleaved).
+func CommandSpawner(bin string, baseArgs []string, stderr io.Writer) SpawnFunc {
+	return func(id int, coordURL, shard string) (Handle, error) {
+		args := append(append([]string{}, baseArgs...),
+			"-farm", coordURL,
+			"-farm-id", strconv.Itoa(id),
+			"-journal", shard,
+		)
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		h := &cmdHandle{cmd: cmd, done: make(chan error, 1)}
+		go func() { h.done <- cmd.Wait() }()
+		return h, nil
+	}
+}

@@ -15,10 +15,14 @@
 // for the whole line, followed by File.Sync. A crash mid-append leaves
 // a final line without a terminating newline (or an unparsable JSON
 // prefix); Resume truncates the file back to the last intact record.
-// Any other malformation — a corrupt record mid-file, a duplicate goal
-// entry, a header mismatch — is reported as a clear error rather than
-// silently repaired, because it indicates corruption (or operator
-// error) beyond what a torn append can produce.
+// A duplicate goal entry is tolerated — the first occurrence wins, and
+// the duplicates are counted and reported (Recovered.Duplicates) so the
+// caller can surface them: merged farm shards legitimately carry a goal
+// twice when a lease was reclaimed and both assignees finished. Any
+// other malformation — a corrupt record mid-file, a header mismatch —
+// is reported as a clear error rather than silently repaired, because
+// it indicates corruption (or operator error) beyond what a torn append
+// or a reassigned lease can produce.
 package journal
 
 import (
@@ -190,8 +194,14 @@ func (w *Writer) Path() string { return w.f.Name() }
 // Recovered is what Resume salvaged from an interrupted run.
 type Recovered struct {
 	Header Header
-	// Goals holds the intact goal records in journal order.
+	// Goals holds the intact goal records in journal order, first
+	// occurrence per key (duplicates are dropped, not merged).
 	Goals []GoalRecord
+	// Duplicates lists the keys of goal records that appeared more than
+	// once, one entry per extra occurrence in journal order. Callers
+	// surface these (driver.journal.duplicate) rather than trusting the
+	// first occurrence silently.
+	Duplicates []string
 	// TruncatedBytes counts torn-tail bytes dropped from the file
 	// (zero for a cleanly written journal).
 	TruncatedBytes int
@@ -251,6 +261,21 @@ func Resume(path string, want Header) (*Writer, *Recovered, error) {
 	return w, rec, nil
 }
 
+// Read opens a journal read-only and scans it: the header is validated
+// against want, a torn tail is tolerated (reported via TruncatedBytes,
+// the file itself is left untouched), and duplicate goal records keep
+// their first occurrence. This is the farm coordinator's merge path —
+// it must inspect worker shards without taking over their append
+// position the way Resume does.
+func Read(path string, want Header) (*Recovered, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	return scan(f, want)
+}
+
 // scan parses the journal, validating the header and goal records. It
 // reports a torn tail via Recovered.TruncatedBytes and fails on any
 // corruption a torn append cannot explain.
@@ -259,6 +284,12 @@ func scan(f *os.File, want Header) (*Recovered, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
+	return scanData(data, want)
+}
+
+// scanData is scan over an in-memory journal image (the fuzz entry
+// point: FuzzJournalScan feeds it byte-mutated journals).
+func scanData(data []byte, want Header) (*Recovered, error) {
 	rec := &Recovered{}
 	if len(data) == 0 {
 		return rec, nil
@@ -294,7 +325,7 @@ func scan(f *os.File, want Header) (*Recovered, error) {
 				return nil, fmt.Errorf("journal: header record without body at byte %d", off)
 			}
 			sawHeader = true
-			if err := checkHeader(*r.Header, want); err != nil {
+			if err := CheckHeader(*r.Header, want); err != nil {
 				return nil, err
 			}
 			rec.Header = *r.Header
@@ -307,11 +338,14 @@ func scan(f *os.File, want Header) (*Recovered, error) {
 				return nil, fmt.Errorf("journal: goal record without body at byte %d", off)
 			}
 			if key := r.Goal.Key(); seen[key] {
-				return nil, fmt.Errorf("journal: duplicate entry for goal %s at byte %d", key, off)
+				// First occurrence wins; the duplicate is reported, not
+				// trusted silently (and not an error: a reclaimed farm
+				// lease can legitimately finish twice).
+				rec.Duplicates = append(rec.Duplicates, key)
 			} else {
 				seen[key] = true
+				rec.Goals = append(rec.Goals, *r.Goal)
 			}
-			rec.Goals = append(rec.Goals, *r.Goal)
 		default:
 			return nil, fmt.Errorf("journal: unknown record kind %q at byte %d", r.Kind, off)
 		}
@@ -324,7 +358,13 @@ func scan(f *os.File, want Header) (*Recovered, error) {
 	return rec, nil
 }
 
-func checkHeader(got, want Header) error {
+// CheckHeader validates a journal header against the current run's:
+// version, target identity (the cross-ISA refusal — a library
+// synthesized for one ISA is never replayed into another), and the
+// setup/width/config fingerprint. The farm coordinator applies the same
+// check to worker registrations and shard headers, so every shard that
+// reaches the merge provably belongs to the same run configuration.
+func CheckHeader(got, want Header) error {
 	if got.Version != want.Version {
 		return fmt.Errorf("journal: version mismatch: journal has v%d, this binary writes v%d", got.Version, want.Version)
 	}

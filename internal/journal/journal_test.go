@@ -158,19 +158,35 @@ func TestInjectedTornWrite(t *testing.T) {
 	}
 }
 
-func TestDuplicateGoalEntryFails(t *testing.T) {
+// A duplicated goal record keeps its first occurrence and is surfaced
+// through Recovered.Duplicates (a reclaimed farm lease can finish on
+// two workers; the single-process journal never writes one, so the
+// count is also the caller's corruption signal).
+func TestDuplicateGoalEntryReported(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.jsonl")
 	w := mustCreate(t, path)
-	if err := w.Append(testRecord(0)); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Append(testRecord(0)); err != nil {
-		t.Fatal(err)
+	first := testRecord(0)
+	first.ElapsedMS = 11
+	dup := testRecord(0)
+	dup.ElapsedMS = 99
+	for _, rec := range []GoalRecord{first, dup, testRecord(1), dup} {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
 	}
 	w.Close()
-	_, _, err := Resume(path, testHeader)
-	if err == nil || !strings.Contains(err.Error(), "duplicate entry for goal") {
-		t.Fatalf("duplicate goal must fail with a clear error, got %v", err)
+	_, rec, err := Resume(path, testHeader)
+	if err != nil {
+		t.Fatalf("duplicate goal records must be tolerated, got %v", err)
+	}
+	if len(rec.Goals) != 2 {
+		t.Fatalf("recovered %d goals, want 2 distinct", len(rec.Goals))
+	}
+	if got := rec.Goals[0].ElapsedMS; got != 11 {
+		t.Fatalf("first occurrence must win, got elapsed %d", got)
+	}
+	if len(rec.Duplicates) != 2 || rec.Duplicates[0] != first.Key() {
+		t.Fatalf("duplicates not reported: %v", rec.Duplicates)
 	}
 }
 

@@ -33,6 +33,10 @@ type cegisDoc struct {
 		Rules      int     `json:"rules"`
 		MeanCycles float64 `json:"mean_selected_cycles"`
 	} `json:"targets"`
+	Farm *struct {
+		Workers     int     `json:"workers"`
+		GoalsPerSec float64 `json:"goals_per_sec"`
+	} `json:"farm"`
 }
 
 type iselDoc struct {
@@ -77,6 +81,11 @@ func regressed(base, cur float64) bool {
 	return base > 0 && cur > base*(1+*maxRegress)
 }
 
+// regressedDown is the higher-is-better counterpart (throughput).
+func regressedDown(base, cur float64) bool {
+	return base > 0 && cur < base*(1-*maxRegress)
+}
+
 func checkCegis(path string) {
 	var base, cur cegisDoc
 	load(filepath.Join(*baselineDir, filepath.Base(path)), &base)
@@ -106,6 +115,19 @@ func checkCegis(path string) {
 		if regressed(float64(bt.Rules), float64(ct.Rules)) {
 			report("%s: %s rules regressed %d -> %d (>%.0f%%)",
 				path, bt.Target, bt.Rules, ct.Rules, 100**maxRegress)
+		}
+	}
+	// The farm section: a baseline farm must stay (same-or-more workers)
+	// and its throughput must not collapse — goals/sec is higher-is-better.
+	if base.Farm != nil {
+		switch {
+		case cur.Farm == nil:
+			report("%s: baseline farm section disappeared", path)
+		case cur.Farm.Workers < base.Farm.Workers:
+			report("%s: farm workers shrank %d -> %d", path, base.Farm.Workers, cur.Farm.Workers)
+		case regressedDown(base.Farm.GoalsPerSec, cur.Farm.GoalsPerSec):
+			report("%s: farm goals_per_sec regressed %.2f -> %.2f (>%.0f%%)",
+				path, base.Farm.GoalsPerSec, cur.Farm.GoalsPerSec, 100**maxRegress)
 		}
 	}
 	fmt.Printf("benchdiff: %s incremental_ms %.1f vs baseline %.1f (%+.1f%%); %d targets vs %d baseline targets\n",

@@ -22,7 +22,7 @@ go vet ./...
 # so this pass needs the same widened timeout as the full suite below.
 go test -race -timeout 60m ./internal/sat ./internal/smt ./internal/cegis ./internal/driver \
 	./internal/isel ./internal/pattern ./internal/obs ./internal/telemetry \
-	./internal/riscv ./internal/target
+	./internal/riscv ./internal/target ./internal/farm
 # the driver tests synthesize libraries and run well past go test's
 # default 10m timeout under the race detector (their per-goal deadlines
 # scale up under race too; see internal/driver scaledTimeout)
@@ -66,6 +66,22 @@ fi
 	-o "$tmpdir/uninterrupted.json" >/dev/null
 cmp "$tmpdir/resumed.json" "$tmpdir/uninterrupted.json" || {
 	echo "ci.sh: resumed library differs from the uninterrupted run" >&2
+	exit 1
+}
+
+# Farm smoke test: a 2-worker distributed quickstart with journal.kill
+# armed in worker 0's first incarnation (it is SIGKILL'd right after
+# its 2nd shard append is durable; the coordinator reclaims its lease,
+# respawns it, and the respawn crash-recovers the shard). The merged
+# library must be byte-identical to the single-process golden — the
+# farm's core guarantee, exercised across real process boundaries.
+# -backoff 100ms keeps the reclaimed goal's reassignment prompt.
+go build -o "$tmpdir/selfarm" ./cmd/selfarm
+"$tmpdir/selfarm" -setup quick -timeout 2m -workers 2 -backoff 100ms \
+	-selgen "$tmpdir/selgen" -dir "$tmpdir/farm" -o "$tmpdir/farmed.json" \
+	-worker-faults journal.kill=hit:2 >/dev/null
+cmp "$tmpdir/farmed.json" testdata/goldens/quick_x86.json || {
+	echo "ci.sh: farm-merged library differs from the single-process golden" >&2
 	exit 1
 }
 

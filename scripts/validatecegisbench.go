@@ -45,6 +45,17 @@ type tgt struct {
 	SynthMS      float64 `json:"synth_ms"`
 }
 
+type farm struct {
+	Workers         int     `json:"workers"`
+	Goals           int     `json:"goals"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	GoalsPerSec     float64 `json:"goals_per_sec"`
+	LeasesGranted   int     `json:"leases_granted"`
+	LeasesReclaimed int     `json:"leases_reclaimed"`
+	Respawns        int     `json:"respawns"`
+	ByteIdentical   bool    `json:"byte_identical"`
+}
+
 type doc struct {
 	Width         int     `json:"width"`
 	Rounds        int     `json:"rounds"`
@@ -54,6 +65,7 @@ type doc struct {
 	Speedup       float64 `json:"speedup"`
 	Cost          cost    `json:"cost"`
 	Targets       []tgt   `json:"targets"`
+	Farm          *farm   `json:"farm"`
 }
 
 func fail(format string, args ...any) {
@@ -136,6 +148,25 @@ func main() {
 		}
 	}
 
-	fmt.Printf("validatecegisbench: ok (%d goals; cost-aware %d rules vs exhaustive %d at %d goals covered; mean rule cost %.2f; %d targets)\n",
-		len(d.Goals), c.CostAwareRules, c.ExhaustiveRules, c.CostAwareGoals, c.MeanRuleCost, len(d.Targets))
+	// The farm section: quickstart synthesis distributed across real
+	// worker processes, merged back byte-identical.
+	if d.Farm == nil {
+		fail("farm section missing — regenerate with iselbench -json -farm-selgen <selgen> -farm-workers 2")
+	}
+	f := d.Farm
+	if f.Workers < 2 {
+		fail("farm ran on %d worker(s); the section must exercise actual distribution (>= 2)", f.Workers)
+	}
+	if f.Goals <= 0 || f.ElapsedMS <= 0 || f.GoalsPerSec <= 0 {
+		fail("empty farm section: %+v", f)
+	}
+	if f.LeasesGranted < f.Goals {
+		fail("farm granted %d lease(s) for %d goal(s) — every goal needs at least one grant", f.LeasesGranted, f.Goals)
+	}
+	if !f.ByteIdentical {
+		fail("farm-merged library is not byte-identical to the single-process run")
+	}
+
+	fmt.Printf("validatecegisbench: ok (%d goals; cost-aware %d rules vs exhaustive %d at %d goals covered; mean rule cost %.2f; %d targets; farm %.2f goals/s on %d workers)\n",
+		len(d.Goals), c.CostAwareRules, c.ExhaustiveRules, c.CostAwareGoals, c.MeanRuleCost, len(d.Targets), f.GoalsPerSec, f.Workers)
 }
